@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+numbers).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated rows/series printed by each benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.aes_experiment import run_aes_synthesis  # noqa: E402
+from repro.experiments.comparison import run_prototype_comparison  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def aes_synthesis_session():
+    """The AES decomposition + synthesized architecture, shared by benches."""
+    return run_aes_synthesis()
+
+
+@pytest.fixture(scope="session")
+def prototype_comparison(aes_synthesis_session):
+    """The mesh-vs-custom simulation used by the Section 5.2 table benches."""
+    return run_prototype_comparison(blocks=2, synthesis=aes_synthesis_session)

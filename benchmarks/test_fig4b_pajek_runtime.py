@@ -1,0 +1,44 @@
+"""Figure 4b — average decomposition run time on Pajek-style random graphs.
+
+Paper: more than 60 random graphs of 10-40 nodes, average run times growing
+with size, the largest under 3 minutes (Matlab + C++ VF2).  Shape criterion:
+the averaged run time grows from the small sizes to the large ones and every
+graph stays within the per-graph budget.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.experiments.reporting import format_series
+from repro.experiments.runtime_sweep import run_pajek_runtime_sweep
+
+PAJEK_SIZES = (10, 15, 20, 25, 30, 35, 40)
+INSTANCES_PER_SIZE = 2
+
+
+def test_fig4b_pajek_runtime_series(benchmark):
+    """Regenerate the Figure-4b series: nodes vs. average decomposition time."""
+    result = benchmark.pedantic(
+        lambda: run_pajek_runtime_sweep(
+            sizes=PAJEK_SIZES, instances_per_size=INSTANCES_PER_SIZE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = result.average_runtime_by_size()
+    print()
+    print(format_series(series, x_label="nodes", y_label="avg_runtime_s"))
+
+    assert len(result.points) == len(PAJEK_SIZES) * INSTANCES_PER_SIZE
+    assert result.max_runtime() < 60.0
+
+    # shape: the large half of the size range is on average slower than the
+    # small half (individual instances are noisy, the trend must hold)
+    runtimes = dict(series)
+    small = mean(runtimes[size] for size in PAJEK_SIZES[:3])
+    large = mean(runtimes[size] for size in PAJEK_SIZES[-3:])
+    assert large >= small
+
+    # every decomposition is a valid cover with meaningful coverage
+    assert all(point.covered_fraction >= 0.3 for point in result.points)

@@ -1,0 +1,43 @@
+"""Section 5.2 prototype table — throughput (cycles/block and Mbps).
+
+Paper (128-bit blocks at 100 MHz):
+
+    mesh:   271 cycles/block  ->  47.2 Mbps
+    custom: 199 cycles/block  ->  64.3 Mbps   (+36% throughput)
+
+Shape criterion: the customized architecture needs fewer cycles per block and
+delivers 15-90% higher throughput; the simulated mesh operating point lands
+within +/-50% of the paper's 271 cycles/block.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import PAPER_RESULTS, run_prototype_comparison
+from repro.experiments.reporting import format_table
+
+
+def test_table_throughput(benchmark, aes_synthesis_session):
+    comparison = benchmark.pedantic(
+        lambda: run_prototype_comparison(blocks=1, synthesis=aes_synthesis_session),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "architecture": metrics.name,
+            "cycles_per_block": metrics.cycles_per_block,
+            "throughput_mbps": metrics.throughput_mbps,
+            "paper_cycles": PAPER_RESULTS[key]["cycles_per_block"],
+            "paper_mbps": PAPER_RESULTS[key]["throughput_mbps"],
+        }
+        for key, metrics in (("mesh", comparison.mesh), ("custom", comparison.custom))
+    ]
+    print()
+    print(format_table(rows, title="Section 5.2 — throughput (simulated vs. paper)"))
+    print(f"throughput increase: {comparison.throughput_increase_percent:+.1f}% (paper: +36%)")
+
+    assert comparison.custom.cycles_per_block < comparison.mesh.cycles_per_block
+    assert comparison.custom.throughput_mbps > comparison.mesh.throughput_mbps
+    assert 15.0 <= comparison.throughput_increase_percent <= 90.0
+    paper_mesh_cycles = PAPER_RESULTS["mesh"]["cycles_per_block"]
+    assert 0.5 * paper_mesh_cycles <= comparison.mesh.cycles_per_block <= 1.5 * paper_mesh_cycles

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Section 5.1 style experiments on random benchmark graphs.
+
+Shows the two things the paper demonstrates with random graphs:
+
+1. the Figure-5 illustrative decomposition (a random-looking 8-node ACG that
+   cleanly decomposes into gossip and broadcast primitives), and
+2. a miniature Figure-4 runtime sweep over TGFF-like and Pajek-like graphs
+   of increasing size.
+
+Run with:  python examples/random_graph_synthesis.py
+           python examples/random_graph_synthesis.py --full   (larger sweep)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    run_figure5_example,
+    run_pajek_runtime_sweep,
+    run_tgff_runtime_sweep,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-size sweep (slower; mirrors the paper's 10-40 node range)",
+    )
+    arguments = parser.parse_args()
+
+    figure5 = run_figure5_example()
+    print(figure5.describe())
+    print()
+
+    tgff_sizes = (5, 8, 10, 12, 15, 18) if arguments.full else (5, 8, 10)
+    pajek_sizes = (10, 15, 20, 25, 30, 35, 40) if arguments.full else (10, 14, 18)
+    instances = 3 if arguments.full else 1
+
+    tgff = run_tgff_runtime_sweep(sizes=tgff_sizes)
+    print(tgff.describe("Figure 4a — decomposition runtime on TGFF-like graphs"))
+    print()
+
+    pajek = run_pajek_runtime_sweep(sizes=pajek_sizes, instances_per_size=instances)
+    print(pajek.describe("Figure 4b — decomposition runtime on Pajek-like graphs"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro: energy- and performance-driven NoC communication architecture
+synthesis using a decomposition approach (DATE 2005 reproduction).
+
+The public API is organised in subpackages:
+
+* :mod:`repro.core` — ACGs, the communication library, the branch-and-bound
+  decomposition, and topology synthesis (the paper's contribution).
+* :mod:`repro.energy` — Equation-1 bit-energy model, technology points and
+  traffic-driven power accounting.
+* :mod:`repro.arch` — topology abstraction, mesh baseline, customized
+  topologies and structural metrics.
+* :mod:`repro.routing` — shortest paths, table routing, XY routing and
+  deadlock analysis.
+* :mod:`repro.noc` — cycle-based NoC simulator used for the prototype-style
+  throughput / latency / energy comparison.
+* :mod:`repro.floorplan` — simple floorplanner providing core coordinates.
+* :mod:`repro.workloads` — TGFF-like and Pajek-like benchmark generators.
+* :mod:`repro.aes` — AES-128 and its distributed 16-node byte-slice model.
+* :mod:`repro.experiments` — the experiments behind every figure and table.
+
+Quickstart::
+
+    from repro import ApplicationGraph, default_library, decompose, synthesize_architecture
+
+    acg = ApplicationGraph.from_traffic({(1, 2): 128, (2, 1): 128, (1, 3): 64})
+    result = decompose(acg, default_library())
+    architecture = synthesize_architecture(acg, result)
+    print(result.describe())
+    print(architecture.describe())
+"""
+
+from repro.core import (
+    ApplicationGraph,
+    BranchAndBoundDecomposer,
+    CommunicationLibrary,
+    CommunicationPrimitive,
+    CostModel,
+    DecompositionConfig,
+    DecompositionResult,
+    DesignConstraints,
+    DiGraph,
+    EnergyCostModel,
+    GreedyDecomposer,
+    LinkCountCostModel,
+    Matching,
+    PrimitiveKind,
+    RemainderGraph,
+    SearchStrategy,
+    SynthesisOptions,
+    SynthesizedArchitecture,
+    TopologySynthesizer,
+    UnitCostModel,
+    aes_library,
+    decompose,
+    default_library,
+    extended_library,
+    minimal_library,
+    synthesize_architecture,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ApplicationGraph",
+    "DiGraph",
+    "CommunicationPrimitive",
+    "PrimitiveKind",
+    "CommunicationLibrary",
+    "default_library",
+    "aes_library",
+    "extended_library",
+    "minimal_library",
+    "Matching",
+    "RemainderGraph",
+    "CostModel",
+    "UnitCostModel",
+    "LinkCountCostModel",
+    "EnergyCostModel",
+    "DecompositionConfig",
+    "DecompositionResult",
+    "SearchStrategy",
+    "BranchAndBoundDecomposer",
+    "GreedyDecomposer",
+    "decompose",
+    "DesignConstraints",
+    "SynthesisOptions",
+    "SynthesizedArchitecture",
+    "TopologySynthesizer",
+    "synthesize_architecture",
+]

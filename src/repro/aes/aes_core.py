@@ -1,0 +1,230 @@
+"""A complete AES-128 implementation (FIPS-197).
+
+The paper uses the Advanced Encryption Standard as its driving application:
+the AES operations are distributed over a network of 16 identical nodes,
+each processing one byte of the 128-bit state.  This module provides the
+reference (monolithic) cipher — key expansion, encryption and decryption —
+which the distributed byte-slice model in :mod:`repro.aes.distributed` is
+validated against: the distributed execution must produce bit-identical
+ciphertexts while additionally emitting the communication trace that drives
+the NoC simulation.
+
+State convention (FIPS-197): the 16 input bytes fill the 4x4 state matrix
+column by column, ``state[row][column] = input[row + 4 * column]``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkloadError
+
+BLOCK_SIZE_BYTES = 16
+KEY_SIZE_BYTES = 16
+NUM_ROUNDS = 10
+
+# ----------------------------------------------------------------------
+# S-boxes
+# ----------------------------------------------------------------------
+S_BOX = (
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+)
+
+INV_S_BOX = tuple(S_BOX.index(value) for value in range(256))
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+# ----------------------------------------------------------------------
+# GF(2^8) arithmetic
+# ----------------------------------------------------------------------
+def xtime(value: int) -> int:
+    """Multiply by x (i.e. by 2) in GF(2^8) modulo the AES polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def gf_multiply(a: int, b: int) -> int:
+    """General multiplication in GF(2^8)."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = xtime(a)
+    return result & 0xFF
+
+
+# ----------------------------------------------------------------------
+# state helpers
+# ----------------------------------------------------------------------
+State = list[list[int]]
+
+
+def bytes_to_state(block: bytes) -> State:
+    """Column-major 4x4 state from a 16-byte block."""
+    if len(block) != BLOCK_SIZE_BYTES:
+        raise WorkloadError(f"AES blocks are {BLOCK_SIZE_BYTES} bytes, got {len(block)}")
+    return [[block[row + 4 * column] for column in range(4)] for row in range(4)]
+
+
+def state_to_bytes(state: State) -> bytes:
+    return bytes(state[row][column] for column in range(4) for row in range(4))
+
+
+# ----------------------------------------------------------------------
+# round transformations (operating on the 4x4 state in place)
+# ----------------------------------------------------------------------
+def sub_bytes(state: State) -> None:
+    for row in range(4):
+        for column in range(4):
+            state[row][column] = S_BOX[state[row][column]]
+
+
+def inv_sub_bytes(state: State) -> None:
+    for row in range(4):
+        for column in range(4):
+            state[row][column] = INV_S_BOX[state[row][column]]
+
+
+def shift_rows(state: State) -> None:
+    """Row ``r`` is rotated left by ``r`` positions."""
+    for row in range(1, 4):
+        state[row] = state[row][row:] + state[row][:row]
+
+
+def inv_shift_rows(state: State) -> None:
+    for row in range(1, 4):
+        state[row] = state[row][-row:] + state[row][:-row]
+
+
+def mix_single_column(column: list[int]) -> list[int]:
+    a0, a1, a2, a3 = column
+    return [
+        gf_multiply(a0, 2) ^ gf_multiply(a1, 3) ^ a2 ^ a3,
+        a0 ^ gf_multiply(a1, 2) ^ gf_multiply(a2, 3) ^ a3,
+        a0 ^ a1 ^ gf_multiply(a2, 2) ^ gf_multiply(a3, 3),
+        gf_multiply(a0, 3) ^ a1 ^ a2 ^ gf_multiply(a3, 2),
+    ]
+
+
+def mix_columns(state: State) -> None:
+    for column in range(4):
+        mixed = mix_single_column([state[row][column] for row in range(4)])
+        for row in range(4):
+            state[row][column] = mixed[row]
+
+
+def inv_mix_single_column(column: list[int]) -> list[int]:
+    a0, a1, a2, a3 = column
+    return [
+        gf_multiply(a0, 14) ^ gf_multiply(a1, 11) ^ gf_multiply(a2, 13) ^ gf_multiply(a3, 9),
+        gf_multiply(a0, 9) ^ gf_multiply(a1, 14) ^ gf_multiply(a2, 11) ^ gf_multiply(a3, 13),
+        gf_multiply(a0, 13) ^ gf_multiply(a1, 9) ^ gf_multiply(a2, 14) ^ gf_multiply(a3, 11),
+        gf_multiply(a0, 11) ^ gf_multiply(a1, 13) ^ gf_multiply(a2, 9) ^ gf_multiply(a3, 14),
+    ]
+
+
+def inv_mix_columns(state: State) -> None:
+    for column in range(4):
+        mixed = inv_mix_single_column([state[row][column] for row in range(4)])
+        for row in range(4):
+            state[row][column] = mixed[row]
+
+
+def add_round_key(state: State, round_key: State) -> None:
+    for row in range(4):
+        for column in range(4):
+            state[row][column] ^= round_key[row][column]
+
+
+# ----------------------------------------------------------------------
+# key schedule
+# ----------------------------------------------------------------------
+def expand_key(key: bytes) -> list[State]:
+    """Expand a 128-bit key into the 11 round keys (each a 4x4 state)."""
+    if len(key) != KEY_SIZE_BYTES:
+        raise WorkloadError(f"AES-128 keys are {KEY_SIZE_BYTES} bytes, got {len(key)}")
+    words: list[list[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 4 * (NUM_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [S_BOX[value] for value in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+
+    round_keys: list[State] = []
+    for round_index in range(NUM_ROUNDS + 1):
+        round_words = words[4 * round_index : 4 * round_index + 4]
+        # word w holds one state *column*
+        round_keys.append(
+            [[round_words[column][row] for column in range(4)] for row in range(4)]
+        )
+    return round_keys
+
+
+# ----------------------------------------------------------------------
+# block encryption / decryption
+# ----------------------------------------------------------------------
+def encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    round_keys = expand_key(key)
+    state = bytes_to_state(plaintext)
+    add_round_key(state, round_keys[0])
+    for round_index in range(1, NUM_ROUNDS):
+        sub_bytes(state)
+        shift_rows(state)
+        mix_columns(state)
+        add_round_key(state, round_keys[round_index])
+    sub_bytes(state)
+    shift_rows(state)
+    add_round_key(state, round_keys[NUM_ROUNDS])
+    return state_to_bytes(state)
+
+
+def decrypt_block(ciphertext: bytes, key: bytes) -> bytes:
+    """Decrypt one 16-byte block with AES-128."""
+    round_keys = expand_key(key)
+    state = bytes_to_state(ciphertext)
+    add_round_key(state, round_keys[NUM_ROUNDS])
+    inv_shift_rows(state)
+    inv_sub_bytes(state)
+    for round_index in range(NUM_ROUNDS - 1, 0, -1):
+        add_round_key(state, round_keys[round_index])
+        inv_mix_columns(state)
+        inv_shift_rows(state)
+        inv_sub_bytes(state)
+    add_round_key(state, round_keys[0])
+    return state_to_bytes(state)
+
+
+def encrypt_ecb(plaintext: bytes, key: bytes) -> bytes:
+    """ECB encryption of a multi-block message (length must be a multiple of 16)."""
+    if len(plaintext) % BLOCK_SIZE_BYTES:
+        raise WorkloadError("ECB input length must be a multiple of the block size")
+    return b"".join(
+        encrypt_block(plaintext[offset : offset + BLOCK_SIZE_BYTES], key)
+        for offset in range(0, len(plaintext), BLOCK_SIZE_BYTES)
+    )
+
+
+#: FIPS-197 Appendix B example vector (plaintext, key, ciphertext)
+FIPS197_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS197_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS197_CIPHERTEXT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")

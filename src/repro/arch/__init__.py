@@ -1,0 +1,34 @@
+"""Architecture substrate: topology abstraction, mesh baseline, customized
+topologies and structural metrics."""
+
+from repro.arch.custom import ChannelOrigin, CustomTopology
+from repro.arch.mesh import MeshCoordinates, MeshTopology, build_mesh
+from repro.arch.metrics import (
+    BisectionResult,
+    TopologyReport,
+    all_pairs_hop_counts,
+    average_hop_count,
+    bisection_bandwidth,
+    diameter,
+    is_strongly_connected,
+    topology_report,
+)
+from repro.arch.topology import Channel, Topology
+
+__all__ = [
+    "Topology",
+    "Channel",
+    "MeshTopology",
+    "MeshCoordinates",
+    "build_mesh",
+    "CustomTopology",
+    "ChannelOrigin",
+    "TopologyReport",
+    "BisectionResult",
+    "topology_report",
+    "diameter",
+    "average_hop_count",
+    "all_pairs_hop_counts",
+    "bisection_bandwidth",
+    "is_strongly_connected",
+]

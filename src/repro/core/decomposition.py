@@ -1,0 +1,447 @@
+"""The graph decomposition engine (Section 4 of the paper).
+
+Given an Application Characterization Graph and a communication library, the
+decomposition covers the ACG with instances of the library primitives plus a
+remainder graph that no primitive matches (Equation 2), minimising the total
+cost (Equation 3) subject to the design constraints.
+
+Two engines are provided:
+
+:class:`BranchAndBoundDecomposer`
+    The depth-first branch-and-bound of Figure 3.  At every level it tries
+    each library primitive, enumerates the (edge-set-distinct) subgraph
+    isomorphisms into the current residual graph, subtracts the matched
+    edges, and recurses; a branch is abandoned as soon as its accumulated
+    cost plus an admissible lower bound on the residual exceeds the best
+    complete decomposition found so far.
+
+:class:`GreedyDecomposer`
+    A first-fit baseline (largest primitive first, first matching found, no
+    backtracking).  It is used by the ablation benchmark to quantify what the
+    branch-and-bound search buys.
+
+Both return a :class:`DecompositionResult` that carries the chosen matchings,
+the remainder graph, the cost breakdown, search statistics and a
+``describe()`` method that prints the same listing format as the paper's
+Section 5 output (primitive ID, name and vertex mapping per line).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.cost import CostModel, UnitCostModel, default_cost_model
+from repro.core.graph import ApplicationGraph, DiGraph
+from repro.core.isomorphism import MatcherOptions, VF2Matcher
+from repro.core.library import CommunicationLibrary, LibraryEntry
+from repro.core.matching import Matching, RemainderGraph
+from repro.exceptions import DecompositionError
+
+
+class SearchStrategy(Enum):
+    """How the decomposition space is explored."""
+
+    BRANCH_AND_BOUND = "branch_and_bound"
+    GREEDY = "greedy"
+
+
+@dataclass
+class DecompositionConfig:
+    """Tuning knobs for the decomposition search.
+
+    Attributes
+    ----------
+    strategy:
+        Branch-and-bound (paper) or greedy first-fit (ablation baseline).
+    max_matchings_per_primitive:
+        How many distinct matchings of each primitive are branched on at each
+        level.  ``None`` explores all of them; small values keep the search
+        tractable for large random graphs while preserving the best-first
+        behaviour because matchings are deduplicated by covered edge set.
+    isomorphism_timeout_seconds:
+        Per-isomorphism-query timeout (Section 5.1 suggests terminating the
+        subgraph search after a time-out rather than trying all
+        permutations).
+    total_timeout_seconds:
+        Overall wall-clock budget; when exhausted the best decomposition
+        found so far is returned and the result is flagged as truncated.
+    max_leaves:
+        Stop after this many complete decompositions have been evaluated.
+    """
+
+    strategy: SearchStrategy = SearchStrategy.BRANCH_AND_BOUND
+    max_matchings_per_primitive: int | None = 4
+    isomorphism_timeout_seconds: float | None = 5.0
+    total_timeout_seconds: float | None = 120.0
+    max_leaves: int | None = 20000
+    max_nodes_expanded: int | None = None
+    """Optional cap on the number of search-tree nodes expanded; bounds the
+    total work on large graphs whose decomposition tree is too big to search
+    exhaustively (the best decomposition found so far is returned)."""
+    use_lower_bound: bool = True
+
+
+@dataclass
+class SearchStatistics:
+    """Diagnostics gathered during one decomposition run."""
+
+    nodes_expanded: int = 0
+    matchings_tried: int = 0
+    leaves_evaluated: int = 0
+    branches_pruned: int = 0
+    elapsed_seconds: float = 0.0
+    truncated: bool = False
+
+    def as_dict(self) -> dict[str, float | int | bool]:
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "matchings_tried": self.matchings_tried,
+            "leaves_evaluated": self.leaves_evaluated,
+            "branches_pruned": self.branches_pruned,
+            "elapsed_seconds": self.elapsed_seconds,
+            "truncated": self.truncated,
+        }
+
+
+@dataclass
+class DecompositionResult:
+    """A complete decomposition: matchings + remainder + cost breakdown."""
+
+    acg: ApplicationGraph
+    matchings: list[Matching]
+    remainder: RemainderGraph
+    total_cost: float
+    matching_costs: list[float]
+    remainder_cost: float
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_matchings(self) -> int:
+        return len(self.matchings)
+
+    @property
+    def is_complete_cover(self) -> bool:
+        """True when no application edge was left in the remainder."""
+        return self.remainder.is_empty
+
+    def primitives_used(self) -> dict[str, int]:
+        """How many instances of each primitive the decomposition uses."""
+        counts: dict[str, int] = {}
+        for matching in self.matchings:
+            counts[matching.primitive.name] = counts.get(matching.primitive.name, 0) + 1
+        return counts
+
+    def covered_edge_fraction(self) -> float:
+        total = self.acg.num_edges
+        if total == 0:
+            return 1.0
+        return 1.0 - self.remainder.num_edges / total
+
+    def validate_cover(self) -> None:
+        """Check that matchings + remainder partition the ACG edge set."""
+        covered: set = set()
+        for matching in self.matchings:
+            edges = matching.covered_edges()
+            overlap = covered & edges
+            if overlap:
+                raise DecompositionError(f"matchings overlap on edges {sorted(overlap)}")
+            covered |= edges
+        remainder_edges = set(self.remainder.edges())
+        if covered & remainder_edges:
+            raise DecompositionError("remainder overlaps a matching")
+        all_edges = set(self.acg.edges())
+        if covered | remainder_edges != all_edges:
+            missing = all_edges - (covered | remainder_edges)
+            raise DecompositionError(f"decomposition does not cover edges {sorted(missing)}")
+
+    # ------------------------------------------------------------------
+    # reporting (paper's Section-5 listing format)
+    # ------------------------------------------------------------------
+    def describe(self, include_cost: bool = True) -> str:
+        lines: list[str] = []
+        if include_cost:
+            lines.append(f"COST: {self.total_cost:g}")
+        for depth, matching in enumerate(self.matchings):
+            lines.append(" " * depth + matching.describe())
+        lines.append(" " * len(self.matchings) + self.remainder.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DecompositionResult matchings={self.num_matchings} "
+            f"remainder_edges={self.remainder.num_edges} cost={self.total_cost:g}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
+class _Budget:
+    """Shared wall-clock / leaf budget for one decomposition run."""
+
+    def __init__(self, config: DecompositionConfig) -> None:
+        self.config = config
+        self.start = time.monotonic()
+        self.leaves = 0
+        self.exhausted = False
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def out_of_time(self) -> bool:
+        if self.config.total_timeout_seconds is None:
+            return False
+        if self.elapsed() > self.config.total_timeout_seconds:
+            self.exhausted = True
+        return self.exhausted
+
+    def out_of_leaves(self) -> bool:
+        if self.config.max_leaves is None:
+            return False
+        if self.leaves >= self.config.max_leaves:
+            self.exhausted = True
+        return self.exhausted
+
+    def out_of_nodes(self, nodes_expanded: int) -> bool:
+        if self.config.max_nodes_expanded is None:
+            return False
+        if nodes_expanded >= self.config.max_nodes_expanded:
+            self.exhausted = True
+        return self.exhausted
+
+
+class Decomposer:
+    """Common machinery shared by the branch-and-bound and greedy engines."""
+
+    def __init__(
+        self,
+        library: CommunicationLibrary,
+        cost_model: CostModel | None = None,
+        config: DecompositionConfig | None = None,
+    ) -> None:
+        self.library = library
+        self.cost_model = cost_model
+        self.config = config or DecompositionConfig()
+
+    # -- helpers ---------------------------------------------------------
+    def _resolve_cost_model(self, acg: ApplicationGraph) -> CostModel:
+        if self.cost_model is not None:
+            return self.cost_model
+        return default_cost_model(acg)
+
+    def _enumerate_matchings(
+        self, entry: LibraryEntry, residual: DiGraph
+    ) -> list[Matching]:
+        """Distinct matchings of one primitive in the residual graph."""
+        primitive = entry.primitive
+        if primitive.size > residual.num_nodes:
+            return []
+        if primitive.num_requirement_edges > residual.num_edges:
+            return []
+        matcher = VF2Matcher(
+            primitive.representation,
+            residual,
+            MatcherOptions(
+                induced=False,
+                timeout_seconds=self.config.isomorphism_timeout_seconds,
+                deduplicate_by_edges=True,
+            ),
+        )
+        limit = self.config.max_matchings_per_primitive
+        mappings = matcher.find_all(limit=limit)
+        return [Matching.from_mapping(primitive, mapping) for mapping in mappings]
+
+    def _any_match_exists(self, residual: DiGraph) -> bool:
+        for entry in self.library.sorted_for_search():
+            primitive = entry.primitive
+            if primitive.size > residual.num_nodes:
+                continue
+            if primitive.num_requirement_edges > residual.num_edges:
+                continue
+            matcher = VF2Matcher(
+                primitive.representation,
+                residual,
+                MatcherOptions(
+                    timeout_seconds=self.config.isomorphism_timeout_seconds,
+                ),
+            )
+            if matcher.exists():
+                return True
+        return False
+
+    def _build_result(
+        self,
+        acg: ApplicationGraph,
+        matchings: list[Matching],
+        residual: DiGraph,
+        cost_model: CostModel,
+        statistics: SearchStatistics,
+    ) -> DecompositionResult:
+        remainder = RemainderGraph(residual.without_isolated_nodes())
+        matching_costs = [cost_model.matching_cost(m, acg) for m in matchings]
+        remainder_cost = cost_model.remainder_cost(remainder, acg)
+        result = DecompositionResult(
+            acg=acg,
+            matchings=list(matchings),
+            remainder=remainder,
+            total_cost=sum(matching_costs) + remainder_cost,
+            matching_costs=matching_costs,
+            remainder_cost=remainder_cost,
+            statistics=statistics,
+        )
+        result.validate_cover()
+        return result
+
+    def decompose(self, acg: ApplicationGraph) -> DecompositionResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+class GreedyDecomposer(Decomposer):
+    """First-fit decomposition: largest primitive first, no backtracking."""
+
+    def decompose(self, acg: ApplicationGraph) -> DecompositionResult:
+        cost_model = self._resolve_cost_model(acg)
+        statistics = SearchStatistics()
+        start = time.monotonic()
+        residual: DiGraph = acg.structural_copy()
+        matchings: list[Matching] = []
+        progress = True
+        while progress and residual.num_edges > 0:
+            progress = False
+            for entry in self.library.sorted_for_search():
+                candidates = self._enumerate_matchings(entry, residual)
+                statistics.matchings_tried += len(candidates)
+                if not candidates:
+                    continue
+                best = min(candidates, key=lambda m: cost_model.matching_cost(m, acg))
+                matchings.append(best)
+                residual = best.subtract_from(residual)
+                statistics.nodes_expanded += 1
+                progress = True
+                break
+        statistics.leaves_evaluated = 1
+        statistics.elapsed_seconds = time.monotonic() - start
+        return self._build_result(acg, matchings, residual, cost_model, statistics)
+
+
+class BranchAndBoundDecomposer(Decomposer):
+    """The depth-first branch-and-bound NetDecomp algorithm of Figure 3."""
+
+    def decompose(self, acg: ApplicationGraph) -> DecompositionResult:
+        cost_model = self._resolve_cost_model(acg)
+        statistics = SearchStatistics()
+        budget = _Budget(self.config)
+        residual = acg.structural_copy()
+
+        best: dict[str, object] = {"cost": float("inf"), "matchings": None, "residual": None}
+        smallest_key: tuple = ()
+
+        def recurse(
+            current: DiGraph,
+            chosen: list[Matching],
+            partial_cost: float,
+            min_key: tuple,
+            dead_primitives: frozenset[int],
+        ) -> None:
+            if (
+                budget.out_of_time()
+                or budget.out_of_leaves()
+                or budget.out_of_nodes(statistics.nodes_expanded)
+            ):
+                return
+            statistics.nodes_expanded += 1
+
+            # A primitive with no matching in some graph cannot match any of
+            # its subgraphs either (matchings are monomorphisms), so once a
+            # primitive comes up empty it is skipped for the whole subtree.
+            newly_dead: set[int] = set()
+            candidates: list[Matching] = []
+            for entry in self.library.sorted_for_search():
+                if entry.primitive_id in dead_primitives:
+                    continue
+                found = self._enumerate_matchings(entry, current)
+                statistics.matchings_tried += len(found)
+                if not found:
+                    newly_dead.add(entry.primitive_id)
+                    continue
+                candidates.extend(found)
+            child_dead = dead_primitives | frozenset(newly_dead)
+            any_branch = bool(candidates)
+            # Branch in canonical order so that the symmetry-breaking filter
+            # below (only non-decreasing keys along a branch) never discards a
+            # combination of matchings that has not been explored elsewhere.
+            candidates.sort(key=lambda matching: matching.sort_key())
+            for matching in candidates:
+                # Symmetry breaking: matchings commute, so explore them in
+                # non-decreasing canonical order only (see Matching.sort_key).
+                if matching.sort_key() < min_key:
+                    continue
+                match_cost = cost_model.matching_cost(matching, acg)
+                next_residual = matching.subtract_from(current)
+                next_cost = partial_cost + match_cost
+                if self.config.use_lower_bound:
+                    bound = next_cost + cost_model.lower_bound(next_residual, acg)
+                    if bound >= best["cost"]:
+                        statistics.branches_pruned += 1
+                        continue
+                chosen.append(matching)
+                recurse(next_residual, chosen, next_cost, matching.sort_key(), child_dead)
+                chosen.pop()
+                if budget.out_of_time() or budget.out_of_leaves():
+                    return
+
+            if not any_branch:
+                # Leaf: nothing in the library matches the residual graph.
+                budget.leaves += 1
+                statistics.leaves_evaluated += 1
+                total = partial_cost + cost_model.remainder_cost(current, acg)
+                if total < best["cost"]:
+                    best["cost"] = total
+                    best["matchings"] = list(chosen)
+                    best["residual"] = current.copy()
+
+        recurse(residual, [], 0.0, smallest_key, frozenset())
+        statistics.elapsed_seconds = budget.elapsed()
+        statistics.truncated = budget.exhausted
+
+        if best["matchings"] is None:
+            # The search budget ran out before reaching any leaf; fall back to
+            # a greedy pass so the caller always receives a valid cover.
+            fallback = GreedyDecomposer(self.library, cost_model, self.config).decompose(acg)
+            fallback.statistics.truncated = True
+            fallback.statistics.nodes_expanded += statistics.nodes_expanded
+            fallback.statistics.matchings_tried += statistics.matchings_tried
+            return fallback
+
+        return self._build_result(
+            acg,
+            list(best["matchings"]),  # type: ignore[arg-type]
+            best["residual"],  # type: ignore[arg-type]
+            cost_model,
+            statistics,
+        )
+
+
+def decompose(
+    acg: ApplicationGraph,
+    library: CommunicationLibrary,
+    cost_model: CostModel | None = None,
+    config: DecompositionConfig | None = None,
+) -> DecompositionResult:
+    """Decompose ``acg`` into ``library`` primitives (module-level convenience).
+
+    The engine is picked from ``config.strategy``; the default is the paper's
+    branch-and-bound search with a unit or energy cost model chosen
+    automatically from the ACG (energy if floorplan positions are present).
+    """
+    config = config or DecompositionConfig()
+    if config.strategy is SearchStrategy.GREEDY:
+        engine: Decomposer = GreedyDecomposer(library, cost_model, config)
+    else:
+        engine = BranchAndBoundDecomposer(library, cost_model, config)
+    return engine.decompose(acg)

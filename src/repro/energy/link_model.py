@@ -1,0 +1,57 @@
+"""Link energy model: from floorplan distances to per-bit link energy.
+
+Section 3 of the paper points out that, unlike regular grids, customized
+topologies have links whose lengths are not known a priori; the library
+therefore stores the link energy *per unit length* and the actual ``E_Lbit``
+is computed from the real link length once the floorplan is known, "also
+taking the repeaters into account".  This module implements exactly that
+calculation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.technology import Technology
+from repro.exceptions import EnergyModelError
+
+
+@dataclass(frozen=True)
+class LinkEnergyModel:
+    """Per-bit energy of a point-to-point link of a given physical length."""
+
+    technology: Technology
+
+    def repeaters_needed(self, length_mm: float) -> int:
+        """Number of repeaters inserted on a link of ``length_mm`` millimetres.
+
+        A repeater is inserted every ``repeater_spacing_mm``; a link shorter
+        than the spacing needs none.
+        """
+        if length_mm < 0:
+            raise EnergyModelError("link length must be non-negative")
+        if length_mm <= self.technology.repeater_spacing_mm:
+            return 0
+        return int(math.ceil(length_mm / self.technology.repeater_spacing_mm)) - 1
+
+    def link_energy_pj(self, length_mm: float) -> float:
+        """``E_Lbit`` for one bit traversing a link of ``length_mm``.
+
+        The wire contribution is linear in length; the repeater contribution
+        is charged per repeater as the equivalent of driving one repeater
+        span worth of wire with the repeater-specific per-mm figure.
+        """
+        if length_mm < 0:
+            raise EnergyModelError("link length must be non-negative")
+        wire = self.technology.link_energy_pj_per_bit_mm * length_mm
+        repeaters = (
+            self.repeaters_needed(length_mm)
+            * self.technology.repeater_energy_pj_per_bit_mm
+            * self.technology.repeater_spacing_mm
+        )
+        return wire + repeaters
+
+    def switch_energy_pj(self) -> float:
+        """``E_Sbit``: per-bit energy of one router traversal."""
+        return self.technology.switch_energy_pj_per_bit

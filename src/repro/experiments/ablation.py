@@ -1,0 +1,174 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Two questions the paper leaves implicit are answered quantitatively here:
+
+1. **What does the branch-and-bound search buy over a greedy first-fit
+   cover?**  (Section 4.4 motivates the bound; the ablation measures the
+   cost gap and the run-time price on a set of ACGs.)
+2. **How sensitive is the result to the library content?**  (Section 3
+   argues for small primitives with efficient 2-D implementations; the
+   ablation decomposes the same ACGs with a minimal, the default and an
+   extended library.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.cost import CostModel, LinkCountCostModel
+from repro.core.decomposition import (
+    DecompositionConfig,
+    SearchStrategy,
+    decompose,
+)
+from repro.core.graph import ApplicationGraph
+from repro.core.library import (
+    CommunicationLibrary,
+    default_library,
+    extended_library,
+    minimal_library,
+)
+from repro.experiments.reporting import format_table
+from repro.aes.acg import build_aes_acg
+from repro.workloads.random_acg import figure5_example_acg, random_decomposable_acg
+
+
+def standard_ablation_acgs() -> list[ApplicationGraph]:
+    """The ACGs every ablation runs on: AES, the Figure-5 example, one random."""
+    return [
+        build_aes_acg(),
+        figure5_example_acg(),
+        random_decomposable_acg(num_nodes=10, seed=3),
+    ]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One (ACG, configuration) measurement."""
+
+    acg_name: str
+    configuration: str
+    total_cost: float
+    num_matchings: int
+    remainder_edges: int
+    covered_fraction: float
+    runtime_seconds: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "acg": self.acg_name,
+            "configuration": self.configuration,
+            "cost": self.total_cost,
+            "matchings": self.num_matchings,
+            "remainder_edges": self.remainder_edges,
+            "covered_fraction": self.covered_fraction,
+            "runtime_s": self.runtime_seconds,
+        }
+
+
+@dataclass
+class AblationResult:
+    rows: list[AblationRow] = field(default_factory=list)
+
+    def to_rows(self) -> list[dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+    def describe(self, title: str) -> str:
+        return format_table(self.to_rows(), title=title)
+
+    def rows_for(self, acg_name: str) -> list[AblationRow]:
+        return [row for row in self.rows if row.acg_name == acg_name]
+
+    def cost_of(self, acg_name: str, configuration: str) -> float:
+        for row in self.rows:
+            if row.acg_name == acg_name and row.configuration == configuration:
+                return row.total_cost
+        raise KeyError(f"no ablation row for ({acg_name!r}, {configuration!r})")
+
+
+def _measure(
+    acg: ApplicationGraph,
+    library: CommunicationLibrary,
+    configuration: str,
+    strategy: SearchStrategy,
+    cost_model: CostModel,
+    timeout_seconds: float,
+) -> AblationRow:
+    config = DecompositionConfig(
+        strategy=strategy,
+        max_matchings_per_primitive=4,
+        total_timeout_seconds=timeout_seconds,
+    )
+    start = time.perf_counter()
+    result = decompose(acg, library, cost_model=cost_model, config=config)
+    runtime = time.perf_counter() - start
+    return AblationRow(
+        acg_name=acg.name,
+        configuration=configuration,
+        total_cost=result.total_cost,
+        num_matchings=result.num_matchings,
+        remainder_edges=result.remainder.num_edges,
+        covered_fraction=result.covered_edge_fraction(),
+        runtime_seconds=runtime,
+    )
+
+
+def run_strategy_ablation(
+    acgs: Sequence[ApplicationGraph] | None = None,
+    timeout_seconds: float = 30.0,
+) -> AblationResult:
+    """Branch-and-bound vs. greedy first-fit on the same library and cost model."""
+    acgs = list(acgs) if acgs is not None else standard_ablation_acgs()
+    library = default_library()
+    result = AblationResult()
+    for acg in acgs:
+        result.rows.append(
+            _measure(
+                acg,
+                library,
+                "branch_and_bound",
+                SearchStrategy.BRANCH_AND_BOUND,
+                LinkCountCostModel(),
+                timeout_seconds,
+            )
+        )
+        result.rows.append(
+            _measure(
+                acg,
+                library,
+                "greedy",
+                SearchStrategy.GREEDY,
+                LinkCountCostModel(),
+                timeout_seconds,
+            )
+        )
+    return result
+
+
+def run_library_ablation(
+    acgs: Sequence[ApplicationGraph] | None = None,
+    timeout_seconds: float = 30.0,
+) -> AblationResult:
+    """Minimal vs. default vs. extended library content on the same ACGs."""
+    acgs = list(acgs) if acgs is not None else standard_ablation_acgs()
+    libraries = {
+        "minimal_library": minimal_library(),
+        "default_library": default_library(),
+        "extended_library": extended_library(),
+    }
+    result = AblationResult()
+    for acg in acgs:
+        for label, library in libraries.items():
+            result.rows.append(
+                _measure(
+                    acg,
+                    library,
+                    label,
+                    SearchStrategy.BRANCH_AND_BOUND,
+                    LinkCountCostModel(),
+                    timeout_seconds,
+                )
+            )
+    return result

@@ -1,0 +1,197 @@
+"""Floorplanning: from core footprints to die coordinates.
+
+The decomposition algorithm assumes core positions are known ("we assume that
+an initial floorplanning step has been performed and optimized for chip
+area"), because the energy cost of a matching depends on the physical link
+lengths.  This module provides
+
+* :class:`Floorplan` — the result object: one placed rectangle per core,
+  total area, wirelength evaluation against an ACG;
+* :func:`grid_floorplan` — row-major shelf packing, area-driven (the paper's
+  "optimized for chip area" assumption; exact for identical cores such as
+  the 16 AES nodes);
+* :func:`annealed_floorplan` — an optional simulated-annealing refinement
+  that swaps grid slots to reduce the volume-weighted wirelength of a given
+  ACG while keeping the same (area-optimal) outline.  This is the hook for
+  the paper's future-work remark about relaxing the fixed-floorplan
+  assumption.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.graph import ApplicationGraph
+from repro.exceptions import FloorplanError
+from repro.floorplan.core_spec import CoreSpec
+from repro.floorplan.geometry import Rectangle, bounding_box, manhattan
+
+NodeId = Hashable
+
+
+@dataclass
+class Floorplan:
+    """Placed cores: rectangles and their centres."""
+
+    placements: dict[NodeId, Rectangle] = field(default_factory=dict)
+
+    def add(self, core_id: NodeId, rectangle: Rectangle) -> None:
+        if core_id in self.placements:
+            raise FloorplanError(f"core {core_id!r} is already placed")
+        for other_id, other in self.placements.items():
+            if rectangle.overlaps(other):
+                raise FloorplanError(
+                    f"core {core_id!r} overlaps core {other_id!r} in the floorplan"
+                )
+        self.placements[core_id] = rectangle
+
+    def center(self, core_id: NodeId) -> tuple[float, float]:
+        try:
+            return self.placements[core_id].center
+        except KeyError as error:
+            raise FloorplanError(f"core {core_id!r} is not placed") from error
+
+    def centers(self) -> dict[NodeId, tuple[float, float]]:
+        return {core_id: rect.center for core_id, rect in self.placements.items()}
+
+    def distance(self, first: NodeId, second: NodeId) -> float:
+        return manhattan(self.center(first), self.center(second))
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.placements)
+
+    def die_area_mm2(self) -> float:
+        if not self.placements:
+            return 0.0
+        return bounding_box(list(self.placements.values())).area
+
+    def utilization(self) -> float:
+        """Fraction of the die bounding box occupied by core area."""
+        die = self.die_area_mm2()
+        if die == 0:
+            return 0.0
+        return sum(rect.area for rect in self.placements.values()) / die
+
+    def wirelength(self, acg: ApplicationGraph) -> float:
+        """Volume-weighted Manhattan wirelength of the ACG on this floorplan."""
+        total = 0.0
+        for source, target in acg.edges():
+            total += acg.volume(source, target) * self.distance(source, target)
+        return total
+
+    def apply_to(self, acg: ApplicationGraph) -> None:
+        """Write the core centres into the ACG as positions."""
+        acg.apply_floorplan(self.centers())
+
+
+# ----------------------------------------------------------------------
+# placement algorithms
+# ----------------------------------------------------------------------
+def grid_floorplan(
+    cores: Sequence[CoreSpec],
+    columns: int | None = None,
+    spacing_mm: float = 0.0,
+) -> Floorplan:
+    """Row-major shelf packing into a near-square grid.
+
+    Cores are placed left-to-right, bottom-to-top; each row's height is the
+    tallest core in it.  For identical cores this is the area-optimal square
+    grid (e.g. the 4x4 arrangement of the AES prototype).
+    """
+    if not cores:
+        raise FloorplanError("cannot floorplan an empty core list")
+    if columns is None:
+        columns = max(1, int(math.ceil(math.sqrt(len(cores)))))
+    if columns < 1:
+        raise FloorplanError("the grid needs at least one column")
+
+    floorplan = Floorplan()
+    x_cursor = 0.0
+    y_cursor = 0.0
+    row_height = 0.0
+    for index, core in enumerate(cores):
+        if index and index % columns == 0:
+            x_cursor = 0.0
+            y_cursor += row_height + spacing_mm
+            row_height = 0.0
+        rectangle = Rectangle(x_cursor, y_cursor, core.width_mm, core.height_mm)
+        floorplan.add(core.core_id, rectangle)
+        x_cursor += core.width_mm + spacing_mm
+        row_height = max(row_height, core.height_mm)
+    return floorplan
+
+
+def floorplan_from_positions(
+    positions: Mapping[NodeId, tuple[float, float]], core_size_mm: float = 2.0
+) -> Floorplan:
+    """Build a floorplan from explicit core centres (identical square cores)."""
+    floorplan = Floorplan()
+    half = core_size_mm / 2.0
+    for core_id, (x, y) in positions.items():
+        floorplan.add(core_id, Rectangle(x - half, y - half, core_size_mm, core_size_mm))
+    return floorplan
+
+
+def annealed_floorplan(
+    cores: Sequence[CoreSpec],
+    acg: ApplicationGraph,
+    columns: int | None = None,
+    iterations: int = 2000,
+    initial_temperature: float = 1.0,
+    seed: int = 0,
+) -> Floorplan:
+    """Wirelength-driven refinement of the grid floorplan by slot swapping.
+
+    The outline (and hence the chip area) stays identical to the grid
+    floorplan; only the assignment of cores to grid slots changes.  The cost
+    being minimised is the volume-weighted Manhattan wirelength of the ACG,
+    i.e. the floorplan is tuned to the application the topology will be
+    synthesized for.  Requires identical core footprints (slot swapping would
+    otherwise create overlaps).
+    """
+    if not cores:
+        raise FloorplanError("cannot floorplan an empty core list")
+    first = cores[0]
+    if any(
+        (core.width_mm, core.height_mm) != (first.width_mm, first.height_mm) for core in cores
+    ):
+        raise FloorplanError("annealed_floorplan requires identical core footprints")
+
+    base = grid_floorplan(cores, columns=columns)
+    slots = [base.placements[core.core_id] for core in cores]
+    assignment = list(range(len(cores)))  # assignment[slot_index] = core index
+    rng = random.Random(seed)
+
+    def build(assign: Sequence[int]) -> Floorplan:
+        plan = Floorplan()
+        for slot_index, core_index in enumerate(assign):
+            plan.add(cores[core_index].core_id, slots[slot_index])
+        return plan
+
+    def cost(assign: Sequence[int]) -> float:
+        return build(assign).wirelength(acg)
+
+    current_cost = cost(assignment)
+    best_assignment = list(assignment)
+    best_cost = current_cost
+    temperature = initial_temperature * max(current_cost, 1.0)
+
+    for step in range(max(iterations, 1)):
+        i, j = rng.sample(range(len(cores)), 2)
+        assignment[i], assignment[j] = assignment[j], assignment[i]
+        candidate_cost = cost(assignment)
+        delta = candidate_cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current_cost = candidate_cost
+            if candidate_cost < best_cost:
+                best_cost = candidate_cost
+                best_assignment = list(assignment)
+        else:
+            assignment[i], assignment[j] = assignment[j], assignment[i]
+        temperature *= 0.999
+
+    return build(best_assignment)

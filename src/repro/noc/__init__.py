@@ -1,0 +1,34 @@
+"""Cycle-based NoC simulation substrate (routers, packets, traffic, stats)."""
+
+from repro.noc.network import Network
+from repro.noc.packet import Message, Packet
+from repro.noc.router import LOCAL_PORT, InputBuffer, Router
+from repro.noc.simulator import NoCSimulator, SimulatorConfig
+from repro.noc.stats import SimulationStatistics, throughput_mbps_from_cycles
+from repro.noc.traffic import (
+    InjectionSchedule,
+    acg_messages,
+    bit_complement_messages,
+    split_volume_into_messages,
+    transpose_messages,
+    uniform_random_messages,
+)
+
+__all__ = [
+    "Message",
+    "Packet",
+    "Router",
+    "InputBuffer",
+    "LOCAL_PORT",
+    "Network",
+    "NoCSimulator",
+    "SimulatorConfig",
+    "SimulationStatistics",
+    "throughput_mbps_from_cycles",
+    "acg_messages",
+    "uniform_random_messages",
+    "transpose_messages",
+    "bit_complement_messages",
+    "split_volume_into_messages",
+    "InjectionSchedule",
+]

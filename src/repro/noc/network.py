@@ -1,0 +1,129 @@
+"""The network fabric: routers wired according to a topology.
+
+:class:`Network` owns the :class:`~repro.noc.router.Router` instances, the
+channel occupancy state and the in-flight packets; the cycle loop itself
+lives in :mod:`repro.noc.simulator`.  Routing is pluggable: any callable
+``route(current, destination) -> next_hop`` works, so the same fabric runs
+the mesh baseline (XY routing) and the synthesized customized topologies
+(table routing from the decomposition's schedules).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+from repro.arch.topology import Topology
+from repro.exceptions import SimulationError
+from repro.noc.packet import Packet
+from repro.noc.router import LOCAL_PORT, Router
+
+NodeId = Hashable
+RoutingFunction = Callable[[NodeId, NodeId], NodeId]
+
+
+@dataclass
+class InFlight:
+    """A packet currently traversing a channel."""
+
+    packet: Packet
+    upstream: NodeId
+    downstream: NodeId
+    arrival_cycle: int
+
+
+class Network:
+    """Routers + channels + in-flight packets for one architecture."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingFunction,
+        buffer_capacity_packets: int = 4,
+        pipeline_delay_cycles: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing
+        self.pipeline_delay_cycles = pipeline_delay_cycles
+        self.routers: dict[NodeId, Router] = {
+            node: Router(
+                node,
+                buffer_capacity_packets=buffer_capacity_packets,
+                pipeline_delay_cycles=pipeline_delay_cycles,
+            )
+            for node in topology.routers()
+        }
+        for channel in topology.channels():
+            self.routers[channel.target].add_input_port(channel.source)
+        self.channel_free_at: dict[tuple[NodeId, NodeId], int] = {
+            (channel.source, channel.target): 0 for channel in topology.channels()
+        }
+        self.in_flight: list[InFlight] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def router(self, node: NodeId) -> Router:
+        try:
+            return self.routers[node]
+        except KeyError as error:
+            raise SimulationError(f"no router {node!r} in the network") from error
+
+    def next_hop(self, current: NodeId, destination: NodeId) -> NodeId:
+        next_hop = self.routing(current, destination)
+        if not self.topology.has_channel(current, next_hop):
+            raise SimulationError(
+                f"routing function returned {next_hop!r} from {current!r} towards "
+                f"{destination!r}, but that channel does not exist"
+            )
+        return next_hop
+
+    def is_idle(self) -> bool:
+        """True when no packet is buffered or in flight anywhere."""
+        if self.in_flight:
+            return False
+        return all(router.occupancy() == 0 for router in self.routers.values())
+
+    def buffered_packets(self) -> int:
+        return sum(router.occupancy() for router in self.routers.values())
+
+    def channel_length_mm(self, source: NodeId, target: NodeId) -> float:
+        return self.topology.channel(source, target).length_mm
+
+    # ------------------------------------------------------------------
+    # state changes used by the simulator
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, node: NodeId) -> None:
+        self.router(node).inject(packet)
+
+    def launch(self, packet: Packet, upstream: NodeId, downstream: NodeId, arrival_cycle: int) -> None:
+        self.in_flight.append(
+            InFlight(
+                packet=packet,
+                upstream=upstream,
+                downstream=downstream,
+                arrival_cycle=arrival_cycle,
+            )
+        )
+
+    def deliver_arrivals(self, cycle: int) -> None:
+        """Move in-flight packets whose transfer has completed into the
+        downstream input buffers (retrying next cycle when the buffer is full)."""
+        still_flying: list[InFlight] = []
+        for flight in self.in_flight:
+            if flight.arrival_cycle > cycle:
+                still_flying.append(flight)
+                continue
+            downstream = self.router(flight.downstream)
+            if downstream.can_accept(flight.upstream):
+                downstream.accept(flight.upstream, flight.packet)
+            else:
+                flight.arrival_cycle = cycle + 1
+                still_flying.append(flight)
+        self.in_flight = still_flying
+
+    def output_request(self, router_node: NodeId, packet: Packet) -> object:
+        """The output a head packet requests at ``router_node``."""
+        if packet.destination == router_node:
+            return LOCAL_PORT
+        return self.next_hop(router_node, packet.destination)

@@ -1,0 +1,94 @@
+"""Messages, packets and flits for the cycle-based NoC simulator."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application-level transfer request (one logical message)."""
+
+    source: NodeId
+    destination: NodeId
+    size_bits: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise SimulationError("a message must carry at least one bit")
+        if self.source == self.destination:
+            raise SimulationError("a message cannot be sent to its own source")
+
+
+@dataclass
+class Packet:
+    """A message instantiated in the network with timing bookkeeping.
+
+    The simulator is packet-switched: the whole packet is forwarded hop by
+    hop, occupying each traversed channel for its serialization time
+    (``num_flits`` cycles at one flit per cycle).
+    """
+
+    packet_id: int
+    message: Message
+    num_flits: int
+    injection_cycle: int
+    delivery_cycle: int | None = None
+    hops: int = 0
+    path: list[NodeId] = field(default_factory=list)
+
+    @classmethod
+    def from_message(
+        cls, packet_id: int, message: Message, flit_width_bits: int, injection_cycle: int
+    ) -> "Packet":
+        if flit_width_bits <= 0:
+            raise SimulationError("flit width must be positive")
+        num_flits = max(1, math.ceil(message.size_bits / flit_width_bits))
+        return cls(
+            packet_id=packet_id,
+            message=message,
+            num_flits=num_flits,
+            injection_cycle=injection_cycle,
+            path=[message.source],
+        )
+
+    @property
+    def source(self) -> NodeId:
+        return self.message.source
+
+    @property
+    def destination(self) -> NodeId:
+        return self.message.destination
+
+    @property
+    def size_bits(self) -> int:
+        return self.message.size_bits
+
+    @property
+    def is_delivered(self) -> bool:
+        return self.delivery_cycle is not None
+
+    @property
+    def latency(self) -> int:
+        """Cycles from injection to delivery (only valid once delivered)."""
+        if self.delivery_cycle is None:
+            raise SimulationError(f"packet {self.packet_id} has not been delivered yet")
+        return self.delivery_cycle - self.injection_cycle
+
+    def record_hop(self, node: NodeId) -> None:
+        self.hops += 1
+        self.path.append(node)
+
+    def __repr__(self) -> str:
+        status = f"delivered@{self.delivery_cycle}" if self.is_delivered else "in-flight"
+        return (
+            f"<Packet #{self.packet_id} {self.source!r}->{self.destination!r} "
+            f"{self.size_bits}b {self.num_flits}flits {status}>"
+        )

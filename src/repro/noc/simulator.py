@@ -1,0 +1,238 @@
+"""Cycle-based NoC simulator.
+
+This is the measurement substrate that replaces the paper's Virtex-2 FPGA
+prototype: the same architecture-agnostic fabric simulates both the 4x4 mesh
+baseline (XY routing) and the synthesized customized topology (table routing
+derived from the primitives' schedules), so the throughput / latency / energy
+comparison of Section 5.2 is apples-to-apples.
+
+Model summary (packet-switched, one-flit-per-cycle links):
+
+* routers are input-buffered with per-port FIFOs and round-robin output
+  arbitration (:mod:`repro.noc.router`);
+* forwarding a packet over a channel keeps that channel busy for the
+  packet's serialization time (``num_flits`` cycles) and delivers it into
+  the downstream buffer after serialization plus the router pipeline delay;
+* bounded buffers create backpressure (full buffers delay the transfer);
+* every router traversal / link traversal is charged to an
+  :class:`~repro.energy.power.EnergyAccount` so the same run yields the
+  energy and average-power figures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.arch.topology import Topology
+from repro.energy.power import EnergyAccount
+from repro.energy.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.exceptions import SimulationError
+from repro.noc.network import Network
+from repro.noc.packet import Message, Packet
+from repro.noc.router import LOCAL_PORT
+from repro.noc.stats import SimulationStatistics
+
+NodeId = Hashable
+RoutingFunction = Callable[[NodeId, NodeId], NodeId]
+
+
+@dataclass
+class SimulatorConfig:
+    """Knobs of the simulation model."""
+
+    flit_width_bits: int = 32
+    buffer_capacity_packets: int = 4
+    router_pipeline_delay_cycles: int = 1
+    max_cycles: int = 1_000_000
+    charge_leakage: bool = True
+
+
+class NoCSimulator:
+    """Drives a :class:`~repro.noc.network.Network` cycle by cycle."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingFunction,
+        config: SimulatorConfig | None = None,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+    ) -> None:
+        self.config = config or SimulatorConfig()
+        self.topology = topology
+        self.technology = technology
+        self.network = Network(
+            topology,
+            routing,
+            buffer_capacity_packets=self.config.buffer_capacity_packets,
+            pipeline_delay_cycles=self.config.router_pipeline_delay_cycles,
+        )
+        self.energy = EnergyAccount(technology=technology)
+        self.statistics = SimulationStatistics()
+        self.current_cycle = 0
+        self._next_packet_id = 0
+        self._pending: list[tuple[int, int, Packet]] = []  # (cycle, seq, packet) heap
+
+    # ------------------------------------------------------------------
+    # traffic scheduling
+    # ------------------------------------------------------------------
+    def schedule_message(self, message: Message, cycle: int | None = None) -> Packet:
+        """Queue a message for injection at ``cycle`` (default: now)."""
+        if cycle is None:
+            cycle = self.current_cycle
+        if cycle < self.current_cycle:
+            raise SimulationError("cannot schedule a message in the past")
+        if not self.topology.has_router(message.source):
+            raise SimulationError(f"unknown source router {message.source!r}")
+        if not self.topology.has_router(message.destination):
+            raise SimulationError(f"unknown destination router {message.destination!r}")
+        packet = Packet.from_message(
+            self._next_packet_id, message, self.config.flit_width_bits, cycle
+        )
+        self._next_packet_id += 1
+        heapq.heappush(self._pending, (cycle, packet.packet_id, packet))
+        self.statistics.record_injection()
+        return packet
+
+    def schedule_messages(self, messages: Iterable[Message], cycle: int | None = None) -> None:
+        for message in messages:
+            self.schedule_message(message, cycle)
+
+    # ------------------------------------------------------------------
+    # cycle loop
+    # ------------------------------------------------------------------
+    def _inject_due_packets(self) -> None:
+        while self._pending and self._pending[0][0] <= self.current_cycle:
+            _, _, packet = heapq.heappop(self._pending)
+            self.network.inject(packet, packet.source)
+
+    def _serialization_cycles(self, packet: Packet) -> int:
+        return max(1, packet.num_flits)
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        self._inject_due_packets()
+        self.network.deliver_arrivals(self.current_cycle)
+
+        for node, router in self.network.routers.items():
+            winners = router.nominate(lambda packet, _node=node: self.network.output_request(_node, packet))
+            for output, input_port in winners.items():
+                buffer = router.buffer(input_port)
+                head = buffer.head()
+                if head is None:  # pragma: no cover - defensive
+                    continue
+                if output == LOCAL_PORT:
+                    packet = buffer.pop()
+                    packet.delivery_cycle = self.current_cycle
+                    # final router traversal (ejection) — the (n_hops)-th
+                    # switch of Equation 1.
+                    self.energy.charge_switch(packet.size_bits)
+                    self.statistics.record_delivery(packet)
+                    continue
+                channel = (node, output)
+                if self.network.channel_free_at.get(channel, 0) > self.current_cycle:
+                    continue
+                if not self.network.router(output).can_accept(node):
+                    continue
+                packet = buffer.pop()
+                serialization = self._serialization_cycles(packet)
+                self.network.channel_free_at[channel] = self.current_cycle + serialization
+                arrival = (
+                    self.current_cycle
+                    + serialization
+                    + self.config.router_pipeline_delay_cycles
+                )
+                packet.record_hop(output)
+                self.network.launch(packet, node, output, arrival)
+                length = self.network.channel_length_mm(node, output)
+                self.energy.charge_switch(packet.size_bits)
+                self.energy.charge_link(packet.size_bits, length)
+                self.statistics.record_channel_busy(channel, serialization)
+
+        self.current_cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Run for a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+        self._finalize()
+
+    def run_until_drained(self, max_cycles: int | None = None) -> int:
+        """Run until all scheduled traffic has been delivered.
+
+        Returns the cycle count at which the network drained.  Raises
+        :class:`SimulationError` if the budget is exhausted first (which
+        would indicate a routing loop or a deadlock).
+        """
+        budget = max_cycles if max_cycles is not None else self.config.max_cycles
+        start = self.current_cycle
+        while self._pending or not self.network.is_idle():
+            if self.current_cycle - start > budget:
+                raise SimulationError(
+                    f"network did not drain within {budget} cycles "
+                    f"({self.network.buffered_packets()} packets still buffered)"
+                )
+            self.step()
+        self._finalize()
+        return self.current_cycle
+
+    def _finalize(self) -> None:
+        self.statistics.total_cycles = self.current_cycle
+        if self.config.charge_leakage:
+            # leakage is charged once per finalize over the cycles simulated
+            # since the previous finalize
+            charged = getattr(self, "_leakage_charged_until", 0)
+            span = self.current_cycle - charged
+            if span > 0:
+                self.energy.charge_leakage(self.topology.num_routers, span)
+                self._leakage_charged_until = self.current_cycle
+
+    # ------------------------------------------------------------------
+    # phased execution (dependency-aware workloads such as distributed AES)
+    # ------------------------------------------------------------------
+    def run_phases(
+        self,
+        phases: Sequence[Sequence[Message]],
+        max_cycles_per_phase: int | None = None,
+        computation_cycles_per_phase: int = 0,
+    ) -> list[int]:
+        """Run a sequence of communication phases back to back.
+
+        All messages of a phase are injected simultaneously, and the next
+        phase starts only when the network has drained — which models the
+        data dependencies between computation rounds (e.g. AES rounds: a node
+        cannot start the next round before it received its operands).
+        ``computation_cycles_per_phase`` idles the network after every phase
+        to account for the local computation (e.g. SubBytes / MixColumns
+        arithmetic) that separates communication phases; leakage keeps being
+        charged during those cycles.
+
+        Returns the list of per-phase durations in cycles (including the
+        computation allowance).
+        """
+        if computation_cycles_per_phase < 0:
+            raise SimulationError("computation cycles per phase must be non-negative")
+        durations: list[int] = []
+        for phase in phases:
+            phase_start = self.current_cycle
+            self.schedule_messages(phase, cycle=self.current_cycle)
+            self.run_until_drained(max_cycles=max_cycles_per_phase)
+            if computation_cycles_per_phase:
+                self.run(computation_cycles_per_phase)
+            durations.append(self.current_cycle - phase_start)
+        return durations
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def average_power_mw(self) -> float:
+        return self.energy.average_power_mw(max(self.statistics.total_cycles, 1))
+
+    def report(self) -> dict[str, float]:
+        """Combined performance + energy summary of the run so far."""
+        report = dict(self.statistics.summary())
+        report.update(self.energy.summary())
+        report["average_power_mw"] = self.average_power_mw()
+        report["total_energy_uj"] = self.energy.total_energy_uj
+        return report

@@ -1,0 +1,118 @@
+"""Latency / throughput statistics collected by the NoC simulator.
+
+The paper's prototype comparison uses two figures of merit: the chip
+throughput (``128 bits per block * f_clk / cycles-per-block`` in Mbps) and
+the average packet latency in cycles.  :class:`SimulationStatistics` gathers
+the raw per-packet data and derives those figures, plus the hop and channel
+utilisation breakdowns used by the reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.noc.packet import Packet
+
+NodeId = Hashable
+
+
+@dataclass
+class SimulationStatistics:
+    """Aggregated results of one simulation run."""
+
+    delivered_packets: list[Packet] = field(default_factory=list)
+    total_cycles: int = 0
+    injected_count: int = 0
+    channel_busy_cycles: dict[tuple[NodeId, NodeId], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_injection(self) -> None:
+        self.injected_count += 1
+
+    def record_delivery(self, packet: Packet) -> None:
+        if not packet.is_delivered:
+            raise SimulationError("cannot record an undelivered packet as delivered")
+        self.delivered_packets.append(packet)
+
+    def record_channel_busy(self, channel: tuple[NodeId, NodeId], cycles: int) -> None:
+        self.channel_busy_cycles[channel] = self.channel_busy_cycles.get(channel, 0) + cycles
+
+    # ------------------------------------------------------------------
+    # figures of merit
+    # ------------------------------------------------------------------
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered_packets)
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered_count == self.injected_count
+
+    def average_latency_cycles(self) -> float:
+        if not self.delivered_packets:
+            raise SimulationError("no packets were delivered; latency is undefined")
+        return sum(packet.latency for packet in self.delivered_packets) / self.delivered_count
+
+    def max_latency_cycles(self) -> int:
+        if not self.delivered_packets:
+            raise SimulationError("no packets were delivered; latency is undefined")
+        return max(packet.latency for packet in self.delivered_packets)
+
+    def average_hops(self) -> float:
+        if not self.delivered_packets:
+            raise SimulationError("no packets were delivered; hop count is undefined")
+        return sum(packet.hops for packet in self.delivered_packets) / self.delivered_count
+
+    def total_bits_delivered(self) -> int:
+        return sum(packet.size_bits for packet in self.delivered_packets)
+
+    def throughput_bits_per_cycle(self) -> float:
+        if self.total_cycles <= 0:
+            raise SimulationError("throughput needs a positive cycle count")
+        return self.total_bits_delivered() / self.total_cycles
+
+    def throughput_mbps(self, frequency_mhz: float) -> float:
+        """Delivered payload throughput in Mbps at the given clock frequency."""
+        return self.throughput_bits_per_cycle() * frequency_mhz
+
+    def channel_utilization(self) -> dict[tuple[NodeId, NodeId], float]:
+        """Busy fraction of every channel over the simulated interval."""
+        if self.total_cycles <= 0:
+            return {}
+        return {
+            channel: busy / self.total_cycles
+            for channel, busy in self.channel_busy_cycles.items()
+        }
+
+    def max_channel_utilization(self) -> float:
+        utilization = self.channel_utilization()
+        return max(utilization.values()) if utilization else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "injected": float(self.injected_count),
+            "delivered": float(self.delivered_count),
+            "total_cycles": float(self.total_cycles),
+            "average_latency_cycles": self.average_latency_cycles(),
+            "max_latency_cycles": float(self.max_latency_cycles()),
+            "average_hops": self.average_hops(),
+            "throughput_bits_per_cycle": self.throughput_bits_per_cycle(),
+            "max_channel_utilization": self.max_channel_utilization(),
+        }
+
+
+def throughput_mbps_from_cycles(
+    bits_per_block: int, cycles_per_block: float, frequency_mhz: float
+) -> float:
+    """The paper's throughput formula: ``bits/block * f_clk / cycles/block``.
+
+    With 128-bit blocks at 100 MHz, 271 cycles/block gives 47.2 Mbps and
+    199 cycles/block gives 64.3 Mbps, matching Section 5.2.
+    """
+    if cycles_per_block <= 0:
+        raise SimulationError("cycles per block must be positive")
+    return bits_per_block * frequency_mhz / cycles_per_block

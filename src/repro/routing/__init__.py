@@ -1,0 +1,31 @@
+"""Routing substrate: shortest paths, table routing, XY routing, deadlock analysis."""
+
+from repro.routing.deadlock import (
+    DeadlockReport,
+    analyze_deadlock,
+    assert_deadlock_free,
+    build_channel_dependency_graph,
+)
+from repro.routing.shortest_path import (
+    all_pairs_shortest_paths,
+    bfs_shortest_path,
+    dijkstra_shortest_path,
+    path_length_mm,
+)
+from repro.routing.table import RoutingTable
+from repro.routing.xy import build_xy_routing_table, xy_next_hop, xy_route
+
+__all__ = [
+    "RoutingTable",
+    "bfs_shortest_path",
+    "dijkstra_shortest_path",
+    "all_pairs_shortest_paths",
+    "path_length_mm",
+    "xy_next_hop",
+    "xy_route",
+    "build_xy_routing_table",
+    "DeadlockReport",
+    "analyze_deadlock",
+    "assert_deadlock_free",
+    "build_channel_dependency_graph",
+]

@@ -1,0 +1,55 @@
+"""Dimension-ordered XY routing for the mesh baseline.
+
+The paper's standard-mesh prototype uses deterministic routing; XY routing is
+the canonical deadlock-free deterministic routing function for 2-D meshes:
+a packet first travels along the X dimension (columns) until it is aligned
+with its destination column, then along the Y dimension (rows).  Because the
+turn set it uses contains no cycles, the resulting channel dependency graph
+is acyclic and the routing is deadlock-free without virtual channels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.arch.mesh import MeshTopology
+from repro.exceptions import RoutingError
+from repro.routing.table import RoutingTable
+
+NodeId = Hashable
+
+
+def xy_next_hop(mesh: MeshTopology, current: NodeId, destination: NodeId) -> NodeId:
+    """The XY-routing next hop for a packet at ``current`` heading to ``destination``."""
+    if current == destination:
+        raise RoutingError("a packet at its destination needs no next hop")
+    current_coords = mesh.coordinates(current)
+    destination_coords = mesh.coordinates(destination)
+    if current_coords.column != destination_coords.column:
+        step = 1 if destination_coords.column > current_coords.column else -1
+        return mesh.node_at(current_coords.row, current_coords.column + step)
+    step = 1 if destination_coords.row > current_coords.row else -1
+    return mesh.node_at(current_coords.row + step, current_coords.column)
+
+
+def xy_route(mesh: MeshTopology, source: NodeId, destination: NodeId) -> list[NodeId]:
+    """The full XY path from ``source`` to ``destination`` (inclusive)."""
+    path = [source]
+    current = source
+    while current != destination:
+        current = xy_next_hop(mesh, current, destination)
+        path.append(current)
+    return path
+
+
+def build_xy_routing_table(
+    mesh: MeshTopology, pairs: Iterable[tuple[NodeId, NodeId]] | None = None
+) -> RoutingTable:
+    """Routing table with XY entries for the given pairs (default: all pairs)."""
+    table = RoutingTable(mesh)
+    if pairs is None:
+        routers = mesh.routers()
+        pairs = [(s, d) for s in routers for d in routers if s != d]
+    for source, destination in pairs:
+        table.install_path(xy_route(mesh, source, destination))
+    return table

@@ -1,0 +1,48 @@
+"""Workload generators: TGFF-like task graphs, Pajek-like random graphs,
+curated example ACGs and conversion helpers."""
+
+from repro.workloads.acg_builder import (
+    acg_from_task_graph,
+    acg_from_traffic_table,
+    attach_grid_floorplan,
+    set_uniform_bandwidth,
+)
+from repro.workloads.pajek import (
+    erdos_renyi_acg,
+    pajek_benchmark_suite,
+    planted_primitive_acg,
+    read_pajek,
+    write_pajek,
+)
+from repro.workloads.random_acg import (
+    figure2_example_graph,
+    figure5_example_acg,
+    random_decomposable_acg,
+)
+from repro.workloads.tgff import (
+    TaskGraph,
+    TgffParameters,
+    automotive_benchmark,
+    generate_tgff_task_graph,
+    tgff_benchmark_suite,
+)
+
+__all__ = [
+    "TaskGraph",
+    "TgffParameters",
+    "generate_tgff_task_graph",
+    "automotive_benchmark",
+    "tgff_benchmark_suite",
+    "erdos_renyi_acg",
+    "planted_primitive_acg",
+    "pajek_benchmark_suite",
+    "read_pajek",
+    "write_pajek",
+    "figure5_example_acg",
+    "figure2_example_graph",
+    "random_decomposable_acg",
+    "acg_from_task_graph",
+    "acg_from_traffic_table",
+    "attach_grid_floorplan",
+    "set_uniform_bandwidth",
+]

@@ -1,0 +1,188 @@
+"""TGFF-style task-graph generation.
+
+The paper evaluates decomposition run time on "a set of benchmarks generated
+using TGFF" (Task Graphs For Free, Dick et al.), the largest being an
+18-node automotive-industry benchmark.  TGFF itself is a C++ tool; this
+module reproduces its essential behaviour in Python: pseudo-random
+series-parallel task graphs with bounded in/out degree and per-edge
+communication volumes, plus a fixed 18-task automotive-style benchmark whose
+structure follows the embedded automotive task sets commonly distributed
+with TGFF/E3S (sensor front-ends feeding filter chains, a fusion stage and
+actuator outputs).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.graph import ApplicationGraph
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class TgffParameters:
+    """Generation parameters mirroring TGFF's main knobs."""
+
+    num_tasks: int = 12
+    max_out_degree: int = 3
+    max_in_degree: int = 3
+    min_volume_bits: int = 64
+    max_volume_bits: int = 1024
+    extra_edge_probability: float = 0.15
+    """Probability of adding a cross edge between already-connected layers,
+    which creates the multi-fan-in patterns TGFF produces with its series
+    chains."""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 2:
+            raise WorkloadError("a task graph needs at least two tasks")
+        if self.max_out_degree < 1 or self.max_in_degree < 1:
+            raise WorkloadError("degree bounds must be at least one")
+        if self.min_volume_bits <= 0 or self.max_volume_bits < self.min_volume_bits:
+            raise WorkloadError("invalid volume range")
+        if not 0.0 <= self.extra_edge_probability <= 1.0:
+            raise WorkloadError("extra_edge_probability must be within [0, 1]")
+
+
+@dataclass
+class TaskGraph:
+    """A directed acyclic task graph with communication volumes on edges."""
+
+    name: str
+    tasks: list[int] = field(default_factory=list)
+    edges: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def add_task(self, task: int) -> None:
+        if task in self.tasks:
+            raise WorkloadError(f"task {task} already exists")
+        self.tasks.append(task)
+
+    def add_dependency(self, producer: int, consumer: int, volume_bits: int) -> None:
+        if producer not in self.tasks or consumer not in self.tasks:
+            raise WorkloadError("both endpoints must be existing tasks")
+        if volume_bits <= 0:
+            raise WorkloadError("communication volume must be positive")
+        self.edges[(producer, consumer)] = volume_bits
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def to_acg(self, bandwidth_fraction: float = 0.0) -> ApplicationGraph:
+        """One task per core (identity mapping) — the paper's assumption that
+        the application is already mapped onto the processing cores."""
+        acg = ApplicationGraph(name=self.name)
+        for task in self.tasks:
+            acg.add_node(task, exist_ok=True)
+        for (producer, consumer), volume in self.edges.items():
+            acg.add_communication(
+                producer, consumer, volume=volume, bandwidth=bandwidth_fraction * volume
+            )
+        return acg
+
+
+def generate_tgff_task_graph(parameters: TgffParameters) -> TaskGraph:
+    """Pseudo-random layered fork-join task graph (TGFF-like)."""
+    rng = random.Random(parameters.seed)
+    graph = TaskGraph(name=f"tgff_{parameters.num_tasks}_{parameters.seed}")
+    for task in range(1, parameters.num_tasks + 1):
+        graph.add_task(task)
+
+    def volume() -> int:
+        return rng.randint(parameters.min_volume_bits, parameters.max_volume_bits)
+
+    in_degree = {task: 0 for task in graph.tasks}
+    out_degree = {task: 0 for task in graph.tasks}
+
+    # connect every task (except the source) to an earlier task: guarantees a
+    # weakly-connected DAG just like TGFF's series-parallel chains.
+    for task in graph.tasks[1:]:
+        candidates = [
+            earlier
+            for earlier in graph.tasks
+            if earlier < task and out_degree[earlier] < parameters.max_out_degree
+        ]
+        if not candidates:
+            candidates = [task - 1]
+        producer = rng.choice(candidates)
+        graph.add_dependency(producer, task, volume())
+        out_degree[producer] += 1
+        in_degree[task] += 1
+
+    # sprinkle extra forward edges for multi-fan-in / multi-fan-out patterns
+    for producer in graph.tasks:
+        for consumer in graph.tasks:
+            if consumer <= producer or (producer, consumer) in graph.edges:
+                continue
+            if out_degree[producer] >= parameters.max_out_degree:
+                break
+            if in_degree[consumer] >= parameters.max_in_degree:
+                continue
+            if rng.random() < parameters.extra_edge_probability:
+                graph.add_dependency(producer, consumer, volume())
+                out_degree[producer] += 1
+                in_degree[consumer] += 1
+    return graph
+
+
+def automotive_benchmark() -> TaskGraph:
+    """An 18-task automotive-style benchmark (the paper's largest TGFF case).
+
+    The structure follows the classic embedded automotive pipeline: four
+    sensor front-ends feed per-sensor filtering chains, the filtered streams
+    are fused, the fusion result drives a control-law block whose outputs go
+    to four actuator drivers, with a diagnostics/logging tap on the fused
+    data.  Volumes are in bits per control period.
+    """
+    graph = TaskGraph(name="tgff_automotive_18")
+    for task in range(1, 19):
+        graph.add_task(task)
+
+    # sensors 1-4 -> filters 5-8 (per-sensor chains)
+    for sensor, filter_task in zip((1, 2, 3, 4), (5, 6, 7, 8)):
+        graph.add_dependency(sensor, filter_task, 512)
+    # filters 5-8 -> feature extraction 9-10 (two sensor groups)
+    graph.add_dependency(5, 9, 256)
+    graph.add_dependency(6, 9, 256)
+    graph.add_dependency(7, 10, 256)
+    graph.add_dependency(8, 10, 256)
+    # feature extraction -> fusion 11
+    graph.add_dependency(9, 11, 384)
+    graph.add_dependency(10, 11, 384)
+    # fusion -> control law 12, diagnostics 13
+    graph.add_dependency(11, 12, 512)
+    graph.add_dependency(11, 13, 128)
+    # control law -> actuator drivers 14-17
+    for actuator in (14, 15, 16, 17):
+        graph.add_dependency(12, actuator, 128)
+    # diagnostics -> logger 18, logger feedback to fusion (closed loop)
+    graph.add_dependency(13, 18, 64)
+    graph.add_dependency(18, 11, 32)
+    # actuator status feedback to control law
+    graph.add_dependency(14, 12, 32)
+    graph.add_dependency(15, 12, 32)
+    return graph
+
+
+def tgff_benchmark_suite(
+    sizes: Sequence[int] = (5, 8, 10, 12, 15, 18), seed: int = 7
+) -> list[TaskGraph]:
+    """A suite of TGFF-like graphs of increasing size (plus the automotive one).
+
+    Used by the Figure-4a runtime sweep.
+    """
+    suite = [
+        generate_tgff_task_graph(TgffParameters(num_tasks=size, seed=seed + size))
+        for size in sizes
+        if size != 18
+    ]
+    if 18 in sizes:
+        suite.append(automotive_benchmark())
+    return suite

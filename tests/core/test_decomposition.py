@@ -1,0 +1,165 @@
+"""Unit tests for the branch-and-bound / greedy decomposition engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import LinkCountCostModel, UnitCostModel
+from repro.core.decomposition import (
+    BranchAndBoundDecomposer,
+    DecompositionConfig,
+    GreedyDecomposer,
+    SearchStrategy,
+    decompose,
+)
+from repro.core.graph import ApplicationGraph
+from repro.core.library import CommunicationLibrary, default_library, minimal_library
+from repro.core.primitives import make_gossip_primitive, make_path_primitive
+from repro.exceptions import DecompositionError
+from repro.workloads.random_acg import figure5_example_acg
+
+
+def quick_config(**overrides) -> DecompositionConfig:
+    base = dict(max_matchings_per_primitive=4, total_timeout_seconds=20.0)
+    base.update(overrides)
+    return DecompositionConfig(**base)
+
+
+class TestDecompositionBasics:
+    def test_k4_decomposes_into_single_gossip(self, k4_acg, library):
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=quick_config())
+        assert result.primitives_used() == {"MGG4": 1}
+        assert result.remainder.is_empty
+        assert result.total_cost == pytest.approx(4.0)
+        assert result.is_complete_cover
+
+    def test_pipeline_decomposes_into_paths(self, pipeline_acg, library):
+        result = decompose(
+            pipeline_acg, library, cost_model=LinkCountCostModel(), config=quick_config()
+        )
+        result.validate_cover()
+        assert result.covered_edge_fraction() >= 0.5
+        assert all(
+            matching.primitive.name.startswith(("P", "L")) for matching in result.matchings
+        )
+
+    def test_empty_acg(self, library):
+        acg = ApplicationGraph(name="empty")
+        acg.add_node(1)
+        result = decompose(acg, library, cost_model=UnitCostModel(), config=quick_config())
+        assert result.num_matchings == 0
+        assert result.remainder.is_empty
+        assert result.total_cost == 0.0
+
+    def test_unmatchable_graph_goes_to_remainder(self):
+        # with a gossip-only library, a lone directed edge cannot be matched
+        library = CommunicationLibrary()
+        library.add(make_gossip_primitive(4))
+        acg = ApplicationGraph.from_traffic({(1, 2): 10.0})
+        result = decompose(acg, library, cost_model=UnitCostModel(), config=quick_config())
+        assert result.num_matchings == 0
+        assert result.remainder.num_edges == 1
+        assert result.covered_edge_fraction() == 0.0
+
+    def test_figure5_acg_fully_covered(self, library):
+        result = decompose(
+            figure5_example_acg(), library, cost_model=LinkCountCostModel(), config=quick_config()
+        )
+        assert result.remainder.is_empty
+        assert result.primitives_used() == {"MGG4": 1, "G1to3": 3, "G1to4": 1}
+
+
+class TestCoverValidation:
+    def test_validate_cover_accepts_valid_result(self, k4_acg, library):
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=quick_config())
+        result.validate_cover()  # must not raise
+
+    def test_validate_cover_detects_missing_edges(self, k4_acg, library):
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=quick_config())
+        result.acg.add_communication(1, 5, volume=1.0)  # edge not covered
+        with pytest.raises(DecompositionError):
+            result.validate_cover()
+
+
+class TestBranchAndBoundVsGreedy:
+    def test_branch_and_bound_never_worse_than_greedy(self, library):
+        acg = figure5_example_acg()
+        cost_model = LinkCountCostModel()
+        bnb = BranchAndBoundDecomposer(library, cost_model, quick_config()).decompose(acg)
+        greedy = GreedyDecomposer(library, cost_model, quick_config()).decompose(acg)
+        assert bnb.total_cost <= greedy.total_cost + 1e-9
+
+    def test_strategy_selection_via_config(self, k4_acg, library):
+        greedy_result = decompose(
+            k4_acg,
+            library,
+            cost_model=LinkCountCostModel(),
+            config=quick_config(strategy=SearchStrategy.GREEDY),
+        )
+        assert greedy_result.primitives_used() == {"MGG4": 1}
+
+    def test_greedy_prefers_cheapest_matching_of_largest_primitive(self, library):
+        acg = figure5_example_acg()
+        result = GreedyDecomposer(library, LinkCountCostModel(), quick_config()).decompose(acg)
+        assert result.matchings[0].primitive.name == "MGG4"
+        result.validate_cover()
+
+
+class TestSearchBudgets:
+    def test_timeout_returns_valid_cover(self, library):
+        acg = figure5_example_acg()
+        config = quick_config(total_timeout_seconds=0.0)
+        result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
+        result.validate_cover()
+        assert result.statistics.truncated
+
+    def test_max_nodes_expanded_budget(self, library):
+        acg = figure5_example_acg()
+        config = quick_config(max_nodes_expanded=1)
+        result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
+        result.validate_cover()
+
+    def test_max_leaves_budget(self, library):
+        acg = figure5_example_acg()
+        config = quick_config(max_leaves=1)
+        result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
+        result.validate_cover()
+        assert result.statistics.leaves_evaluated <= 1 or result.statistics.truncated
+
+    def test_disabling_lower_bound_still_finds_optimum(self, k4_acg, library):
+        config = quick_config(use_lower_bound=False)
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=config)
+        assert result.total_cost == pytest.approx(4.0)
+
+
+class TestStatisticsAndReporting:
+    def test_statistics_populated(self, k4_acg, library):
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=quick_config())
+        stats = result.statistics.as_dict()
+        assert stats["nodes_expanded"] >= 1
+        assert stats["leaves_evaluated"] >= 1
+        assert stats["elapsed_seconds"] >= 0.0
+
+    def test_describe_contains_cost_and_matchings(self, k4_acg, library):
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=quick_config())
+        text = result.describe()
+        assert text.startswith("COST:")
+        assert "MGG4" in text
+        assert "Remaining Graph" in text
+
+    def test_matching_costs_align_with_total(self, k4_acg, library):
+        result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=quick_config())
+        assert result.total_cost == pytest.approx(
+            sum(result.matching_costs) + result.remainder_cost
+        )
+
+
+class TestMinimalLibraryBehaviour:
+    def test_minimal_library_covers_with_paths_only(self, k4_acg):
+        result = decompose(
+            k4_acg, minimal_library(), cost_model=LinkCountCostModel(), config=quick_config()
+        )
+        result.validate_cover()
+        assert all(m.primitive.name in {"P3", "P2", "MGG2"} for m in result.matchings)
+        # covering a gossip clique with paths needs more links than MGG-4
+        assert result.total_cost > 4.0

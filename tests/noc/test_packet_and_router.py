@@ -1,0 +1,138 @@
+"""Unit tests for packets, flits and the input-buffered router model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.noc.packet import Message, Packet
+from repro.noc.router import LOCAL_PORT, InputBuffer, Router
+
+
+class TestMessage:
+    def test_valid_message(self):
+        message = Message(source=1, destination=2, size_bits=64, tag="t")
+        assert message.size_bits == 64
+
+    def test_invalid_messages_rejected(self):
+        with pytest.raises(SimulationError):
+            Message(source=1, destination=1, size_bits=8)
+        with pytest.raises(SimulationError):
+            Message(source=1, destination=2, size_bits=0)
+
+
+class TestPacket:
+    def test_flit_count_rounds_up(self):
+        message = Message(1, 2, size_bits=65)
+        packet = Packet.from_message(0, message, flit_width_bits=32, injection_cycle=5)
+        assert packet.num_flits == 3
+        assert packet.injection_cycle == 5
+        assert not packet.is_delivered
+
+    def test_single_flit_minimum(self):
+        packet = Packet.from_message(0, Message(1, 2, 8), flit_width_bits=32, injection_cycle=0)
+        assert packet.num_flits == 1
+
+    def test_invalid_flit_width(self):
+        with pytest.raises(SimulationError):
+            Packet.from_message(0, Message(1, 2, 8), flit_width_bits=0, injection_cycle=0)
+
+    def test_latency_requires_delivery(self):
+        packet = Packet.from_message(0, Message(1, 2, 8), 32, injection_cycle=10)
+        with pytest.raises(SimulationError):
+            _ = packet.latency
+        packet.delivery_cycle = 25
+        assert packet.latency == 15
+
+    def test_record_hop_tracks_path(self):
+        packet = Packet.from_message(0, Message(1, 3, 8), 32, injection_cycle=0)
+        packet.record_hop(2)
+        packet.record_hop(3)
+        assert packet.hops == 2
+        assert packet.path == [1, 2, 3]
+
+
+class TestInputBuffer:
+    def test_fifo_behaviour(self):
+        buffer = InputBuffer(capacity_packets=2)
+        first = Packet.from_message(0, Message(1, 2, 8), 32, 0)
+        second = Packet.from_message(1, Message(1, 2, 8), 32, 0)
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.head() is first
+        assert buffer.pop() is first
+        assert len(buffer) == 1
+
+    def test_overflow_and_underflow(self):
+        buffer = InputBuffer(capacity_packets=1)
+        buffer.push(Packet.from_message(0, Message(1, 2, 8), 32, 0))
+        assert not buffer.has_space()
+        with pytest.raises(SimulationError):
+            buffer.push(Packet.from_message(1, Message(1, 2, 8), 32, 0))
+        buffer.pop()
+        with pytest.raises(SimulationError):
+            buffer.pop()
+        assert buffer.head() is None
+
+
+class TestRouter:
+    def _packet(self, pid: int, source: int, destination: int) -> Packet:
+        return Packet.from_message(pid, Message(source, destination, 8), 32, 0)
+
+    def test_ports_and_buffers(self):
+        router = Router(node_id=1, buffer_capacity_packets=2)
+        router.add_input_port(2)
+        router.add_input_port(3)
+        assert set(router.ports()) == {LOCAL_PORT, 2, 3}
+        with pytest.raises(SimulationError):
+            router.buffer(99)
+
+    def test_inject_and_accept(self):
+        router = Router(node_id=1)
+        router.add_input_port(2)
+        router.inject(self._packet(0, 1, 5))
+        router.accept(2, self._packet(1, 2, 5))
+        assert router.occupancy() == 2
+        assert router.can_accept(2)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(SimulationError):
+            Router(node_id=1, buffer_capacity_packets=0)
+        with pytest.raises(SimulationError):
+            Router(node_id=1, pipeline_delay_cycles=0)
+
+    def test_nomination_one_winner_per_output(self):
+        router = Router(node_id=1)
+        router.add_input_port(2)
+        router.add_input_port(3)
+        router.accept(2, self._packet(0, 2, 7))
+        router.accept(3, self._packet(1, 3, 7))
+        winners = router.nominate(lambda packet: 7)  # both want output 7
+        assert list(winners) == [7]
+        assert winners[7] in (2, 3)
+
+    def test_nomination_round_robin_serves_both_ports(self):
+        router = Router(node_id=1)
+        router.add_input_port(2)
+        router.add_input_port(3)
+        router.accept(2, self._packet(0, 2, 7))
+        router.accept(3, self._packet(1, 3, 7))
+        winners = []
+        while router.occupancy():
+            port = router.nominate(lambda packet: 7)[7]
+            router.buffer(port).pop()
+            winners.append(port)
+        assert set(winners) == {2, 3}  # neither port starves
+
+    def test_nomination_different_outputs_both_win(self):
+        router = Router(node_id=1)
+        router.add_input_port(2)
+        router.add_input_port(3)
+        router.accept(2, self._packet(0, 2, 7))
+        router.accept(3, self._packet(1, 3, 8))
+        winners = router.nominate(lambda packet: packet.destination)
+        assert set(winners) == {7, 8}
+
+    def test_empty_router_nominates_nothing(self):
+        router = Router(node_id=1)
+        assert router.nominate(lambda packet: 0) == {}
