@@ -4,9 +4,17 @@ Paper: run times up to 0.3 s, the largest case being an 18-node automotive
 benchmark.  Shape criterion: all TGFF-style graphs decompose in well under a
 few seconds and the run time grows with graph size, with the automotive
 benchmark the slowest of the suite.
+
+The sweep also guards the decomposition hot path: the candidate-inheritance
+matching cache and transposition table must keep the number of VF2-enumerated
+matchings at least 2x below the pre-cache implementation (the recorded seed
+baseline), and the cache counters are printed so the effect is measured
+rather than asserted blindly.
 """
 
 from __future__ import annotations
+
+import pytest
 
 from repro.core.cost import LinkCountCostModel
 from repro.core.decomposition import decompose
@@ -17,7 +25,17 @@ from repro.workloads.tgff import automotive_benchmark
 
 TGFF_SIZES = (5, 8, 10, 12, 15, 18)
 
+# Total branch candidates produced by fresh VF2 queries over the full sweep
+# in the seed implementation (no matching cache / transposition table, no
+# overscan — there, every enumerated matching was a branch candidate),
+# measured with the same sizes, seed and sweep config.  The cached search
+# must keep `matchings_tried` at least 2x below this, and its *total* VF2
+# enumeration (`matchings_enumerated`, which includes the cache-feeding
+# overscan) must not exceed the seed's.
+SEED_MATCHINGS_TRIED = 2917
 
+
+@pytest.mark.smoke
 def test_fig4a_tgff_runtime_series(benchmark):
     """Regenerate the Figure-4a series: nodes vs. average decomposition time."""
     result = benchmark.pedantic(
@@ -26,6 +44,7 @@ def test_fig4a_tgff_runtime_series(benchmark):
     series = result.average_runtime_by_size()
     print()
     print(format_series(series, x_label="nodes", y_label="avg_runtime_s"))
+    print(f"cache summary: {result.cache_summary()}")
 
     # shape: every graph finishes quickly and the curve trends upward
     assert result.max_runtime() < 30.0
@@ -37,7 +56,16 @@ def test_fig4a_tgff_runtime_series(benchmark):
     automotive = [p for p in result.points if p.name == "tgff_automotive_18"]
     assert automotive and automotive[0].covered_fraction > 0.5
 
+    # hot path: the matching cache must absorb most candidate enumeration,
+    # and the overscan that feeds it must not cost more VF2 work in total
+    # than the seed implementation spent
+    summary = result.cache_summary()
+    assert summary["matchings_tried"] * 2 <= SEED_MATCHINGS_TRIED
+    assert summary["matchings_enumerated"] <= SEED_MATCHINGS_TRIED
+    assert summary["matching_cache_hits"] > summary["matching_cache_misses"]
 
+
+@pytest.mark.smoke
 def test_fig4a_automotive_benchmark_decomposition(benchmark):
     """Benchmark the single headline case: the 18-node automotive task graph."""
     acg = automotive_benchmark().to_acg()

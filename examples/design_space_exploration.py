@@ -23,7 +23,6 @@ from repro import (
     DecompositionConfig,
     EnergyCostModel,
     LinkCountCostModel,
-    SearchStrategy,
     UnitCostModel,
     decompose,
     synthesize_architecture,

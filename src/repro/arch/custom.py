@@ -12,7 +12,7 @@ usage across libraries.
 from __future__ import annotations
 
 from collections.abc import Hashable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.topology import Channel, Topology
 

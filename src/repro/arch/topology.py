@@ -10,8 +10,8 @@ the application's requirements.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Iterator
-from dataclasses import dataclass, field
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
 
 from repro.core.graph import CorePosition, DiGraph
 from repro.exceptions import GraphError, NodeNotFoundError, SynthesisError

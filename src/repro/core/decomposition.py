@@ -32,8 +32,8 @@ import time
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.core.cost import CostModel, UnitCostModel, default_cost_model
-from repro.core.graph import ApplicationGraph, DiGraph
+from repro.core.cost import CostModel, default_cost_model
+from repro.core.graph import ApplicationGraph, DiGraph, Edge
 from repro.core.isomorphism import MatcherOptions, VF2Matcher
 from repro.core.library import CommunicationLibrary, LibraryEntry
 from repro.core.matching import Matching, RemainderGraph
@@ -81,6 +81,26 @@ class DecompositionConfig:
     total work on large graphs whose decomposition tree is too big to search
     exhaustively (the best decomposition found so far is returned)."""
     use_lower_bound: bool = True
+    use_matching_cache: bool = True
+    """Inherit a parent residual's matchings into its children instead of
+    re-running VF2: a child residual differs from its parent only by the
+    subtracted edges, so the child's matchings of a primitive are exactly the
+    parent's matchings whose covered edges survived the subtraction.  The
+    inheritance is only applied when the parent's enumeration was provably
+    complete (not clipped by ``max_matchings_per_primitive`` or a timeout);
+    otherwise the child falls back to a fresh VF2 query."""
+    use_transposition_table: bool = True
+    """Prune residual states that were already searched under a dominating
+    (cheaper partial cost, no-stricter symmetry key) visit.  Identical
+    residual edge sets are reachable through different interleavings of
+    overlapping matchings that the symmetry filter cannot collapse."""
+    cache_overscan: int = 4
+    """When the matching cache is on, fresh VF2 queries enumerate up to
+    ``cache_overscan * max_matchings_per_primitive`` matchings so that
+    completeness (and therefore inheritability) can be proven for primitives
+    whose matching count is moderate.  Branching still uses only the first
+    ``max_matchings_per_primitive`` candidates; the extra matchings only feed
+    the candidate-inheritance cache."""
 
 
 @dataclass
@@ -89,8 +109,22 @@ class SearchStatistics:
 
     nodes_expanded: int = 0
     matchings_tried: int = 0
+    """Branch candidates considered from fresh VF2 enumerations (clipped to
+    ``max_matchings_per_primitive``; cache-served candidate lists are
+    filtered, not re-enumerated, and therefore not counted here)."""
+    matchings_enumerated: int = 0
+    """Every matching yielded by a fresh VF2 enumeration, including the
+    overscan beyond the branching limit that only feeds the matching cache.
+    This is the true measure of VF2 enumeration work."""
     leaves_evaluated: int = 0
     branches_pruned: int = 0
+    matching_cache_hits: int = 0
+    """Primitive candidate lists inherited from the parent residual."""
+    matching_cache_misses: int = 0
+    """Primitive candidate lists that required a fresh VF2 enumeration."""
+    transposition_hits: int = 0
+    """Search nodes skipped because a dominating visit already searched the
+    same residual edge set."""
     elapsed_seconds: float = 0.0
     truncated: bool = False
 
@@ -98,11 +132,22 @@ class SearchStatistics:
         return {
             "nodes_expanded": self.nodes_expanded,
             "matchings_tried": self.matchings_tried,
+            "matchings_enumerated": self.matchings_enumerated,
             "leaves_evaluated": self.leaves_evaluated,
             "branches_pruned": self.branches_pruned,
+            "matching_cache_hits": self.matching_cache_hits,
+            "matching_cache_misses": self.matching_cache_misses,
+            "transposition_hits": self.transposition_hits,
             "elapsed_seconds": self.elapsed_seconds,
             "truncated": self.truncated,
         }
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of per-primitive candidate lists served from the cache."""
+        total = self.matching_cache_hits + self.matching_cache_misses
+        if total == 0:
+            return 0.0
+        return self.matching_cache_hits / total
 
 
 @dataclass
@@ -235,14 +280,24 @@ class Decomposer:
         return default_cost_model(acg)
 
     def _enumerate_matchings(
-        self, entry: LibraryEntry, residual: DiGraph
-    ) -> list[Matching]:
-        """Distinct matchings of one primitive in the residual graph."""
+        self, entry: LibraryEntry, residual: DiGraph, overscan: bool = False
+    ) -> tuple[list[Matching], bool]:
+        """Distinct matchings of one primitive in the residual graph.
+
+        Returns ``(matchings, complete)`` where ``complete`` is True only
+        when the enumeration provably produced *every* edge-set-distinct
+        matching: neither clipped by the enumeration limit nor cut short by
+        the per-query timeout.  Completeness is what licenses the
+        candidate-inheritance cache of the branch-and-bound search; only that
+        search passes ``overscan=True`` to enumerate past the branching limit
+        (the greedy engine has no cache and would pay the extra VF2 work for
+        nothing).
+        """
         primitive = entry.primitive
         if primitive.size > residual.num_nodes:
-            return []
+            return [], True
         if primitive.num_requirement_edges > residual.num_edges:
-            return []
+            return [], True
         matcher = VF2Matcher(
             primitive.representation,
             residual,
@@ -253,8 +308,26 @@ class Decomposer:
             ),
         )
         limit = self.config.max_matchings_per_primitive
-        mappings = matcher.find_all(limit=limit)
-        return [Matching.from_mapping(primitive, mapping) for mapping in mappings]
+        scan_limit = limit
+        if limit is not None and overscan and self.config.cache_overscan > 1:
+            scan_limit = limit * self.config.cache_overscan
+        mappings = matcher.find_all(limit=scan_limit)
+        complete = not matcher.timed_out and (
+            scan_limit is None or len(mappings) < scan_limit
+        )
+        return [Matching.from_mapping(primitive, mapping) for mapping in mappings], complete
+
+    def _branch_candidates(self, found: list[Matching]) -> list[Matching]:
+        """The candidates actually branched on: the first ``limit`` of a list.
+
+        Enumeration may overscan past the per-primitive limit to prove
+        completeness for the matching cache; the branching width of the
+        search stays at ``max_matchings_per_primitive`` regardless.
+        """
+        limit = self.config.max_matchings_per_primitive
+        if limit is None:
+            return found
+        return found[:limit]
 
     def _any_match_exists(self, residual: DiGraph) -> bool:
         for entry in self.library.sorted_for_search():
@@ -314,8 +387,10 @@ class GreedyDecomposer(Decomposer):
         while progress and residual.num_edges > 0:
             progress = False
             for entry in self.library.sorted_for_search():
-                candidates = self._enumerate_matchings(entry, residual)
+                found, _complete = self._enumerate_matchings(entry, residual)
+                candidates = self._branch_candidates(found)
                 statistics.matchings_tried += len(candidates)
+                statistics.matchings_enumerated += len(found)
                 if not candidates:
                     continue
                 best = min(candidates, key=lambda m: cost_model.matching_cost(m, acg))
@@ -330,7 +405,23 @@ class GreedyDecomposer(Decomposer):
 
 
 class BranchAndBoundDecomposer(Decomposer):
-    """The depth-first branch-and-bound NetDecomp algorithm of Figure 3."""
+    """The depth-first branch-and-bound NetDecomp algorithm of Figure 3.
+
+    Two structural accelerations keep the VF2 subgraph-isomorphism engine off
+    the hot path:
+
+    * a **candidate-inheritance matching cache** — a child residual differs
+      from its parent only by the subtracted edge set, so the child's
+      matchings of a primitive are exactly the parent's matchings whose
+      covered edges survived the subtraction.  When the parent's enumeration
+      was provably complete the child filters the parent's list instead of
+      re-running VF2;
+    * a **transposition table** keyed by the residual's canonical edge-set
+      signature — the same residual state is reachable through different
+      interleavings of overlapping matchings, and a revisit that is dominated
+      by an earlier visit (higher partial cost, no-looser symmetry key)
+      cannot improve on the subtree already searched.
+    """
 
     def decompose(self, acg: ApplicationGraph) -> DecompositionResult:
         cost_model = self._resolve_cost_model(acg)
@@ -339,14 +430,154 @@ class BranchAndBoundDecomposer(Decomposer):
         residual = acg.structural_copy()
 
         best: dict[str, object] = {"cost": float("inf"), "matchings": None, "residual": None}
-        smallest_key: tuple = ()
+        use_cache = self.config.use_matching_cache
+        use_table = self.config.use_transposition_table
+        search_order = self.library.sorted_for_search()
+        # signature -> [(exact edge set, [(partial_cost, min_key), ...])];
+        # the exact edge set disambiguates fingerprint collisions, and each
+        # (cost, key) list holds the Pareto-incomparable visits of the state.
+        transposition: dict[
+            tuple[int, int], list[tuple[frozenset[Edge], list[tuple[float, tuple]]]]
+        ] = {}
+
+        def evaluate_leaf(
+            current: DiGraph,
+            chosen: list[Matching],
+            partial_cost: float,
+            always_count: bool,
+        ) -> None:
+            """Score stopping at ``current`` (remaining edges go to the remainder).
+
+            Natural leaves (no candidate matches at all) always count against
+            the leaf budget, as in the original search.  Stop-early leaves at
+            interior nodes are scored too — the optimum may leave coverable
+            traffic in the remainder — but charged to the budget only when
+            they improve the incumbent, so the extra evaluations cannot
+            exhaust ``max_leaves`` on subtrees the bound has written off.
+            """
+            total = partial_cost + cost_model.remainder_cost(current, acg)
+            improved = total < best["cost"]
+            if always_count or improved:
+                budget.leaves += 1
+                statistics.leaves_evaluated += 1
+            if improved:
+                best["cost"] = total
+                best["matchings"] = list(chosen)
+                best["residual"] = current.copy()
+
+        def enumerate_candidates(
+            current: DiGraph,
+            inherited: dict[int, tuple[list[Matching], bool]] | None,
+            dead: frozenset[int],
+        ) -> tuple[dict[int, tuple[list[Matching], bool]], list[Matching], frozenset[int]]:
+            """Candidate matchings of ``current``, per primitive and flattened.
+
+            ``inherited`` carries the parent's candidate lists already
+            filtered down to matchings that survived the subtraction, each
+            tagged with whether it is provably the complete candidate set;
+            primitives missing from it (the root, or a clipped parent list
+            that no longer fills the branching quota) fall back to a fresh
+            VF2 query.  ``dead`` holds primitives proven matchless in an
+            ancestor residual — a matching is a monomorphism, so a primitive
+            absent from some graph is absent from all of its subgraphs and is
+            skipped for the whole subtree (this also keeps the
+            ``use_matching_cache=False`` baseline from re-querying them).
+            """
+            lists: dict[int, tuple[list[Matching], bool]] = {}
+            candidates: list[Matching] = []
+            newly_dead: set[int] = set()
+            for entry in search_order:
+                primitive_id = entry.primitive_id
+                if primitive_id in dead:
+                    continue
+                cached = inherited.get(primitive_id) if inherited is not None else None
+                if cached is not None:
+                    statistics.matching_cache_hits += 1
+                    found, complete = cached
+                else:
+                    statistics.matching_cache_misses += 1
+                    found, complete = self._enumerate_matchings(
+                        entry, current, overscan=use_cache
+                    )
+                    statistics.matchings_tried += len(self._branch_candidates(found))
+                    statistics.matchings_enumerated += len(found)
+                if complete and not found:
+                    newly_dead.add(primitive_id)
+                    continue
+                lists[primitive_id] = (found, complete)
+                candidates.extend(self._branch_candidates(found))
+            return lists, candidates, dead | frozenset(newly_dead)
+
+        def inherit_lists(
+            lists: dict[int, tuple[list[Matching], bool]], removed: frozenset[Edge]
+        ) -> dict[int, tuple[list[Matching], bool]]:
+            """Filter this node's candidate lists for the child residual.
+
+            A matching survives the subtraction exactly when none of its
+            covered edges was removed.  Complete lists stay complete (every
+            child matching is a parent matching).  A clipped list is still
+            reused when the survivors fill the per-primitive branching quota
+            — a fresh VF2 query would also return ``limit`` candidates, just
+            possibly different ones — and stays tagged incomplete.
+            """
+            limit = self.config.max_matchings_per_primitive
+            child: dict[int, tuple[list[Matching], bool]] = {}
+            for primitive_id, (found, complete) in lists.items():
+                surviving = [m for m in found if not (m.covered_edges() & removed)]
+                if complete:
+                    child[primitive_id] = (surviving, True)
+                elif limit is not None and len(surviving) >= limit:
+                    child[primitive_id] = (surviving, False)
+            return child
+
+        def dominated_or_recorded(
+            current: DiGraph, partial_cost: float, min_key: tuple
+        ) -> bool:
+            """True when an earlier visit of this residual dominates this one.
+
+            A visit with partial cost ``c`` and symmetry key ``k`` dominates a
+            revisit with cost >= c and key >= k: every branch the revisit may
+            take was reachable from the earlier visit at no higher cost.  When
+            not dominated, the visit is recorded (evicting entries it
+            dominates in turn).
+
+            Only nodes whose candidate lists are all provably complete are
+            recorded or pruned: a complete candidate set is a function of the
+            residual alone, so two such visits see identical branches.  With
+            clipped lists the two visits may branch on *different* truncated
+            candidate subsets, and pruning would drop branches neither visit
+            explored.
+            """
+            signature = current.edge_signature()
+            buckets = transposition.setdefault(signature, [])
+            edges = frozenset(current.edges())
+            entries: list[tuple[float, tuple]] | None = None
+            for bucket_edges, bucket_entries in buckets:
+                if bucket_edges == edges:
+                    entries = bucket_entries
+                    break
+            if entries is None:
+                entries = []
+                buckets.append((edges, entries))
+            for stored_cost, stored_key in entries:
+                if partial_cost >= stored_cost - 1e-9 and min_key >= stored_key:
+                    statistics.transposition_hits += 1
+                    return True
+            entries[:] = [
+                (cost, key)
+                for cost, key in entries
+                if not (cost >= partial_cost - 1e-9 and key >= min_key)
+            ]
+            entries.append((partial_cost, min_key))
+            return False
 
         def recurse(
             current: DiGraph,
             chosen: list[Matching],
             partial_cost: float,
             min_key: tuple,
-            dead_primitives: frozenset[int],
+            inherited: dict[int, tuple[list[Matching], bool]] | None,
+            dead: frozenset[int],
         ) -> None:
             if (
                 budget.out_of_time()
@@ -356,31 +587,28 @@ class BranchAndBoundDecomposer(Decomposer):
                 return
             statistics.nodes_expanded += 1
 
-            # A primitive with no matching in some graph cannot match any of
-            # its subgraphs either (matchings are monomorphisms), so once a
-            # primitive comes up empty it is skipped for the whole subtree.
-            newly_dead: set[int] = set()
-            candidates: list[Matching] = []
-            for entry in self.library.sorted_for_search():
-                if entry.primitive_id in dead_primitives:
-                    continue
-                found = self._enumerate_matchings(entry, current)
-                statistics.matchings_tried += len(found)
-                if not found:
-                    newly_dead.add(entry.primitive_id)
-                    continue
-                candidates.extend(found)
-            child_dead = dead_primitives | frozenset(newly_dead)
-            any_branch = bool(candidates)
-            # Branch in canonical order so that the symmetry-breaking filter
-            # below (only non-decreasing keys along a branch) never discards a
-            # combination of matchings that has not been explored elsewhere.
-            candidates.sort(key=lambda matching: matching.sort_key())
-            for matching in candidates:
-                # Symmetry breaking: matchings commute, so explore them in
-                # non-decreasing canonical order only (see Matching.sort_key).
-                if matching.sort_key() < min_key:
-                    continue
+            lists, candidates, child_dead = enumerate_candidates(current, inherited, dead)
+            # Symmetry breaking: matchings commute, so explore them in
+            # non-decreasing canonical order only (see Matching.sort_key),
+            # branching in canonical order so no combination is lost.
+            survivors = [m for m in candidates if m.sort_key() >= min_key]
+            survivors.sort(key=Matching.sort_key)
+
+            # The transposition check sits after candidate enumeration because
+            # its soundness gate needs the lists' completeness flags, which
+            # only exist once the lists do; on a revisited node the
+            # enumeration is almost always served by the inheritance cache,
+            # so the work a hit discards is list filtering, not VF2.
+            all_complete = all(complete for _, complete in lists.values())
+            if (
+                survivors
+                and use_table
+                and all_complete
+                and dominated_or_recorded(current, partial_cost, min_key)
+            ):
+                return
+
+            for matching in survivors:
                 match_cost = cost_model.matching_cost(matching, acg)
                 next_residual = matching.subtract_from(current)
                 next_cost = partial_cost + match_cost
@@ -389,23 +617,35 @@ class BranchAndBoundDecomposer(Decomposer):
                     if bound >= best["cost"]:
                         statistics.branches_pruned += 1
                         continue
+                child_inherited: dict[int, tuple[list[Matching], bool]] | None = None
+                if use_cache:
+                    child_inherited = inherit_lists(lists, matching.covered_edges())
                 chosen.append(matching)
-                recurse(next_residual, chosen, next_cost, matching.sort_key(), child_dead)
+                recurse(
+                    next_residual,
+                    chosen,
+                    next_cost,
+                    matching.sort_key(),
+                    child_inherited,
+                    child_dead,
+                )
                 chosen.pop()
-                if budget.out_of_time() or budget.out_of_leaves():
+                if (
+                    budget.out_of_time()
+                    or budget.out_of_leaves()
+                    or budget.out_of_nodes(statistics.nodes_expanded)
+                ):
                     return
 
-            if not any_branch:
-                # Leaf: nothing in the library matches the residual graph.
-                budget.leaves += 1
-                statistics.leaves_evaluated += 1
-                total = partial_cost + cost_model.remainder_cost(current, acg)
-                if total < best["cost"]:
-                    best["cost"] = total
-                    best["matchings"] = list(chosen)
-                    best["residual"] = current.copy()
+            # Score stopping at this node, whether it is a natural leaf
+            # (nothing in the library matches), a node whose candidates were
+            # all symmetry-filtered or bound-pruned, or an interior node —
+            # the optimum may cover less than the library allows.  Scoring
+            # after the children keeps ties resolved in favour of the deeper
+            # (more covering) decomposition found first.
+            evaluate_leaf(current, chosen, partial_cost, always_count=not candidates)
 
-        recurse(residual, [], 0.0, smallest_key, frozenset())
+        recurse(residual, [], 0.0, (), None, frozenset())
         statistics.elapsed_seconds = budget.elapsed()
         statistics.truncated = budget.exhausted
 
@@ -416,6 +656,10 @@ class BranchAndBoundDecomposer(Decomposer):
             fallback.statistics.truncated = True
             fallback.statistics.nodes_expanded += statistics.nodes_expanded
             fallback.statistics.matchings_tried += statistics.matchings_tried
+            fallback.statistics.matchings_enumerated += statistics.matchings_enumerated
+            fallback.statistics.matching_cache_hits += statistics.matching_cache_hits
+            fallback.statistics.matching_cache_misses += statistics.matching_cache_misses
+            fallback.statistics.transposition_hits += statistics.transposition_hits
             return fallback
 
         return self._build_result(

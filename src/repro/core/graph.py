@@ -20,7 +20,7 @@ specialisation that attaches volumes, bandwidths and core positions.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import (
@@ -76,6 +76,14 @@ class DiGraph:
         self._succ: dict[Node, dict[Node, dict[str, Any]]] = {}
         self._pred: dict[Node, dict[Node, dict[str, Any]]] = {}
         self._node_attrs: dict[Node, dict[str, Any]] = {}
+        # Cached structural counters, maintained by add_edge/remove_edge so
+        # num_edges / degree queries are O(1) on the decomposition hot path.
+        self._num_edges = 0
+        self._out_degree: dict[Node, int] = {}
+        self._in_degree: dict[Node, int] = {}
+        # Incremental order-independent fingerprint of the edge set; XOR-ing
+        # per-edge hashes keeps it O(1) to maintain under add/remove.
+        self._edge_fingerprint = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -117,6 +125,8 @@ class DiGraph:
         self._succ[node] = {}
         self._pred[node] = {}
         self._node_attrs[node] = dict(attrs)
+        self._out_degree[node] = 0
+        self._in_degree[node] = 0
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` together with all incident edges."""
@@ -129,6 +139,8 @@ class DiGraph:
         del self._succ[node]
         del self._pred[node]
         del self._node_attrs[node]
+        del self._out_degree[node]
+        del self._in_degree[node]
 
     def has_node(self, node: Node) -> bool:
         return node in self._succ
@@ -169,12 +181,20 @@ class DiGraph:
         data = dict(attrs)
         self._succ[source][target] = data
         self._pred[target][source] = data
+        self._num_edges += 1
+        self._out_degree[source] += 1
+        self._in_degree[target] += 1
+        self._edge_fingerprint ^= hash((source, target))
 
     def remove_edge(self, source: Node, target: Node) -> None:
         if not self.has_edge(source, target):
             raise EdgeNotFoundError(source, target)
         del self._succ[source][target]
         del self._pred[target][source]
+        self._num_edges -= 1
+        self._out_degree[source] -= 1
+        self._in_degree[target] -= 1
+        self._edge_fingerprint ^= hash((source, target))
 
     def has_edge(self, source: Node, target: Node) -> bool:
         return source in self._succ and target in self._succ[source]
@@ -197,7 +217,18 @@ class DiGraph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(targets) for targets in self._succ.values())
+        return self._num_edges
+
+    def edge_signature(self) -> tuple[int, int]:
+        """O(1) canonical signature of the current edge set.
+
+        Two graphs over the same vertex set with equal edge sets always have
+        equal signatures, independently of insertion order.  The converse can
+        fail (the fingerprint is a XOR of per-edge hashes), so callers that
+        need exactness — e.g. the decomposition's transposition table — must
+        confirm a signature hit against the actual edges.
+        """
+        return (self._num_edges, self._edge_fingerprint)
 
     # ------------------------------------------------------------------
     # adjacency / degrees
@@ -221,18 +252,36 @@ class DiGraph:
             seen.setdefault(neighbor, None)
         return list(seen)
 
+    def successor_map(self, node: Node) -> Mapping[Node, dict[str, Any]]:
+        """The internal successor adjacency of ``node`` (treat as read-only).
+
+        Exposed so hot-path consumers such as the VF2 matcher can intersect
+        adjacency dictionaries directly instead of materialising node lists.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return self._succ[node]
+
+    def predecessor_map(self, node: Node) -> Mapping[Node, dict[str, Any]]:
+        """The internal predecessor adjacency of ``node`` (treat as read-only)."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return self._pred[node]
+
     def out_degree(self, node: Node) -> int:
-        return len(self._succ.get(node, {})) if self.has_node(node) else self._missing(node)
+        try:
+            return self._out_degree[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
 
     def in_degree(self, node: Node) -> int:
-        return len(self._pred.get(node, {})) if self.has_node(node) else self._missing(node)
+        try:
+            return self._in_degree[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
 
     def degree(self, node: Node) -> int:
         return self.in_degree(node) + self.out_degree(node)
-
-    @staticmethod
-    def _missing(node: Node) -> int:
-        raise NodeNotFoundError(node)
 
     # ------------------------------------------------------------------
     # Definitions 1 and 2 of the paper

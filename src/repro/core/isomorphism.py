@@ -34,8 +34,9 @@ The matcher supports
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Iterator
-from dataclasses import dataclass, field
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.graph import DiGraph, Edge, Node
 
@@ -53,11 +54,14 @@ class IsomorphismMapping:
     def as_dict(self) -> dict[Node, Node]:
         return dict(self.mapping)
 
+    @cached_property
+    def _lookup_table(self) -> dict[Node, Node]:
+        # cached_property writes straight into the instance __dict__, which
+        # sidesteps the frozen dataclass' __setattr__.
+        return dict(self.mapping)
+
     def image(self, node: Node) -> Node:
-        for pattern_node, target_node in self.mapping:
-            if pattern_node == node:
-                return pattern_node if False else target_node
-        raise KeyError(node)
+        return self._lookup_table[node]
 
     def target_nodes(self) -> set[Node]:
         return {target for _, target in self.mapping}
@@ -120,8 +124,26 @@ class VF2Matcher:
         self._pattern_order = sorted(
             pattern.nodes(), key=lambda n: (-pattern.degree(n), repr(n))
         )
+        # Target node order and adjacency maps are fixed for the lifetime of
+        # one matcher, so they are computed once here instead of per search
+        # state (the decomposition runs thousands of states per query).
+        self._target_order = target.nodes()
+        self._target_index = {node: i for i, node in enumerate(self._target_order)}
+        # For each search depth, the already-mapped pattern nodes adjacent to
+        # the pattern node placed at that depth, split by edge direction.
+        self._mapped_predecessors: list[list[Node]] = []
+        self._mapped_successors: list[list[Node]] = []
+        for depth, pattern_node in enumerate(self._pattern_order):
+            earlier = self._pattern_order[:depth]
+            self._mapped_predecessors.append(
+                [n for n in earlier if pattern.has_edge(n, pattern_node)]
+            )
+            self._mapped_successors.append(
+                [n for n in earlier if pattern.has_edge(pattern_node, n)]
+            )
         self._deadline: float | None = None
         self._states_explored = 0
+        self._timed_out = False
 
     # ------------------------------------------------------------------
     # public API
@@ -144,6 +166,11 @@ class VF2Matcher:
         """Number of search states expanded in the last call (for diagnostics)."""
         return self._states_explored
 
+    @property
+    def timed_out(self) -> bool:
+        """True when the last enumeration was cut short by the timeout."""
+        return self._timed_out
+
     def iter_matches(self, limit: int | None = None) -> Iterator[IsomorphismMapping]:
         """Yield matchings lazily.
 
@@ -161,6 +188,7 @@ class VF2Matcher:
             return
 
         self._states_explored = 0
+        self._timed_out = False
         if self.options.timeout_seconds is not None:
             self._deadline = time.monotonic() + self.options.timeout_seconds
         else:
@@ -181,6 +209,7 @@ class VF2Matcher:
                 if limit is not None and produced >= limit:
                     return
         except SearchTimeout:
+            self._timed_out = True
             return
 
     # ------------------------------------------------------------------
@@ -204,7 +233,7 @@ class VF2Matcher:
             return
 
         pattern_node = self._pattern_order[depth]
-        for target_node in self._candidate_targets(pattern_node, mapping, used_targets):
+        for target_node in self._candidate_targets(depth, mapping, used_targets):
             if not self._feasible(pattern_node, target_node, mapping):
                 continue
             mapping[pattern_node] = target_node
@@ -215,28 +244,38 @@ class VF2Matcher:
 
     def _candidate_targets(
         self,
-        pattern_node: Node,
+        depth: int,
         mapping: dict[Node, Node],
         used_targets: set[Node],
     ) -> list[Node]:
-        """Candidate target nodes for ``pattern_node``.
+        """Candidate target nodes for the pattern node placed at ``depth``.
 
         When the pattern node is adjacent to an already-mapped pattern node,
         candidates are restricted to the neighbourhood of the corresponding
-        target node, which is the key VF2 pruning step.
+        target node, which is the key VF2 pruning step.  The adjacency
+        dictionaries of the target are intersected directly (smallest first)
+        rather than copied into fresh sets per state, and the result keeps
+        the target's node-insertion order via the precomputed index.
         """
-        candidate_sets: list[set[Node]] = []
-        for mapped_pattern, mapped_target in mapping.items():
-            if self.pattern.has_edge(mapped_pattern, pattern_node):
-                candidate_sets.append(set(self.target.successors(mapped_target)))
-            if self.pattern.has_edge(pattern_node, mapped_pattern):
-                candidate_sets.append(set(self.target.predecessors(mapped_target)))
-        if candidate_sets:
-            candidates: set[Node] = set.intersection(*candidate_sets)
-        else:
-            candidates = set(self.target.nodes())
-        ordered = [node for node in self.target.nodes() if node in candidates]
-        return [node for node in ordered if node not in used_targets]
+        adjacency: list[Mapping[Node, object]] = [
+            self.target.successor_map(mapping[mapped_pattern])
+            for mapped_pattern in self._mapped_predecessors[depth]
+        ]
+        adjacency.extend(
+            self.target.predecessor_map(mapping[mapped_pattern])
+            for mapped_pattern in self._mapped_successors[depth]
+        )
+        if not adjacency:
+            return [node for node in self._target_order if node not in used_targets]
+        adjacency.sort(key=len)
+        smallest, rest = adjacency[0], adjacency[1:]
+        candidates = [
+            node
+            for node in smallest
+            if node not in used_targets and all(node in adj for adj in rest)
+        ]
+        candidates.sort(key=self._target_index.__getitem__)
+        return candidates
 
     def _feasible(
         self, pattern_node: Node, target_node: Node, mapping: dict[Node, Node]

@@ -18,7 +18,7 @@ increasingly unlikely to occur in real application graphs (Section 3).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.primitives import (
     CommunicationPrimitive,

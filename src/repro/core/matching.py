@@ -16,7 +16,8 @@ of the Application Characterization Graph, which immediately yields
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.graph import ApplicationGraph, DiGraph, Edge, Node
 from repro.core.isomorphism import IsomorphismMapping
@@ -66,24 +67,39 @@ class Matching:
     def as_dict(self) -> dict[Node, Node]:
         return dict(self.assignment)
 
+    @cached_property
+    def _binding_table(self) -> dict[Node, Node]:
+        # cached_property writes straight into the instance __dict__, which
+        # sidesteps the frozen dataclass' __setattr__.
+        return dict(self.assignment)
+
     def core_of(self, primitive_node: Node) -> Node:
-        for node, core in self.assignment:
-            if node == primitive_node:
-                return core
-        raise DecompositionError(
-            f"primitive node {primitive_node!r} is not bound by this matching"
-        )
+        try:
+            return self._binding_table[primitive_node]
+        except KeyError:
+            raise DecompositionError(
+                f"primitive node {primitive_node!r} is not bound by this matching"
+            ) from None
 
     def cores(self) -> list[Node]:
         return [core for _, core in self.assignment]
 
-    def covered_edges(self) -> frozenset[Edge]:
-        """ACG edges that are images of the primitive's requirement edges."""
-        binding = self.as_dict()
+    @cached_property
+    def _covered_edges(self) -> frozenset[Edge]:
+        binding = self._binding_table
         return frozenset(
             (binding[source], binding[target])
             for source, target in self.primitive.representation.edges()
         )
+
+    def covered_edges(self) -> frozenset[Edge]:
+        """ACG edges that are images of the primitive's requirement edges.
+
+        The set is immutable and queried on every candidate-inheritance
+        filter of the decomposition search, so it is computed once per
+        matching and cached.
+        """
+        return self._covered_edges
 
     def implementation_links(self) -> list[Edge]:
         """Physical (directed) links of the implementation graph, in core IDs."""
@@ -148,10 +164,14 @@ class Matching:
         branch; this removes the factorial blow-up of permuted but otherwise
         identical decompositions.
         """
+        return self._sort_key
+
+    @cached_property
+    def _sort_key(self) -> tuple:
         return (
             self.primitive.primitive_id or 0,
             self.primitive.name,
-            tuple(sorted((repr(core) for _, core in self.assignment))),
+            tuple(sorted(repr(core) for _, core in self.assignment)),
         )
 
     # ------------------------------------------------------------------

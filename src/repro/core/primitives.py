@@ -26,7 +26,6 @@ link ``(1, 3)``, that link must provide the sum of both bandwidths.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 from enum import Enum
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 from repro.aes.aes_core import FIPS197_KEY
 from repro.aes.distributed import DistributedAES
-from repro.arch.mesh import MeshTopology, build_mesh
+from repro.arch.mesh import build_mesh
 from repro.arch.topology import Topology
 from repro.core.synthesis import SynthesizedArchitecture
 from repro.energy.technology import FPGA_VIRTEX2, Technology

@@ -9,14 +9,21 @@ Absolute run times obviously depend on the host and on the pure-Python VF2
 implementation, so the reproduction criterion is the *shape*: run time grows
 superlinearly with graph size, small task graphs finish in fractions of a
 second, and the largest random graphs remain tractable (seconds to minutes).
+
+Sweeps run serially by default.  Passing ``parallel=True`` dispatches one
+decomposition per worker process with :mod:`multiprocessing` (via
+``concurrent.futures``) so the Figure-4 sweeps scale with cores; every run is
+independent, so the resulting points are identical to a serial sweep up to
+wall-clock jitter.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from statistics import mean
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.cost import CostModel, LinkCountCostModel
 from repro.core.decomposition import DecompositionConfig, DecompositionResult, decompose
@@ -39,6 +46,9 @@ class RuntimePoint:
     num_matchings: int
     remainder_edges: int
     covered_fraction: float
+    search_statistics: dict = field(default_factory=dict)
+    """The decomposition's :class:`SearchStatistics` as a plain dict, so the
+    benchmarks can report cache-hit and transposition counters per sweep."""
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -75,6 +85,20 @@ class RuntimeSweepResult:
     def max_runtime(self) -> float:
         return max((point.runtime_seconds for point in self.points), default=0.0)
 
+    def total_statistic(self, key: str) -> int:
+        """Sum one :class:`SearchStatistics` counter over all points."""
+        return int(sum(point.search_statistics.get(key, 0) for point in self.points))
+
+    def cache_summary(self) -> dict[str, int]:
+        """Aggregate cache/transposition counters for the whole sweep."""
+        return {
+            "matchings_tried": self.total_statistic("matchings_tried"),
+            "matchings_enumerated": self.total_statistic("matchings_enumerated"),
+            "matching_cache_hits": self.total_statistic("matching_cache_hits"),
+            "matching_cache_misses": self.total_statistic("matching_cache_misses"),
+            "transposition_hits": self.total_statistic("transposition_hits"),
+        }
+
     def to_rows(self) -> list[dict[str, object]]:
         return [point.as_dict() for point in self.points]
 
@@ -95,6 +119,56 @@ def _measure(
     start = time.perf_counter()
     result = decompose(acg, library, cost_model=cost_model, config=config)
     return result, time.perf_counter() - start
+
+
+def _run_one_point(
+    payload: tuple[str, ApplicationGraph, CommunicationLibrary, CostModel, DecompositionConfig],
+) -> RuntimePoint:
+    """Decompose one graph and package the measurement.
+
+    Module-level (rather than a closure) so it can be pickled into
+    :class:`~concurrent.futures.ProcessPoolExecutor` workers.
+    """
+    name, acg, library, cost_model, config = payload
+    decomposition, runtime = _measure(acg, library, cost_model, config)
+    return RuntimePoint(
+        name=name,
+        num_nodes=acg.num_nodes,
+        num_edges=acg.num_edges,
+        runtime_seconds=runtime,
+        total_cost=decomposition.total_cost,
+        num_matchings=decomposition.num_matchings,
+        remainder_edges=decomposition.remainder.num_edges,
+        covered_fraction=decomposition.covered_edge_fraction(),
+        search_statistics=decomposition.statistics.as_dict(),
+    )
+
+
+def run_sweep(
+    named_graphs: Iterable[tuple[str, ApplicationGraph]],
+    library: CommunicationLibrary | None = None,
+    cost_model: CostModel | None = None,
+    config: DecompositionConfig | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> RuntimeSweepResult:
+    """Decompose every graph and collect one :class:`RuntimePoint` each.
+
+    With ``parallel=True`` each decomposition runs in its own worker process
+    (one graph per task); the points come back in input order either way, so
+    serial and parallel sweeps produce identical results.
+    """
+    library = library or default_library()
+    cost_model = cost_model or LinkCountCostModel()
+    config = config or default_sweep_config()
+    payloads = [(name, acg, library, cost_model, config) for name, acg in named_graphs]
+    result = RuntimeSweepResult()
+    if parallel and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            result.points.extend(pool.map(_run_one_point, payloads))
+    else:
+        result.points.extend(_run_one_point(payload) for payload in payloads)
+    return result
 
 
 def default_sweep_config(per_graph_timeout_seconds: float = 30.0) -> DecompositionConfig:
@@ -121,27 +195,22 @@ def run_tgff_runtime_sweep(
     library: CommunicationLibrary | None = None,
     config: DecompositionConfig | None = None,
     seed: int = 7,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> RuntimeSweepResult:
     """Figure 4a: run time over TGFF-style task graphs up to the 18-node case."""
-    library = library or default_library()
-    config = config or default_sweep_config()
-    result = RuntimeSweepResult()
-    for task_graph in tgff_benchmark_suite(sizes=sizes, seed=seed):
-        acg = task_graph.to_acg()
-        decomposition, runtime = _measure(acg, library, LinkCountCostModel(), config)
-        result.points.append(
-            RuntimePoint(
-                name=task_graph.name,
-                num_nodes=acg.num_nodes,
-                num_edges=acg.num_edges,
-                runtime_seconds=runtime,
-                total_cost=decomposition.total_cost,
-                num_matchings=decomposition.num_matchings,
-                remainder_edges=decomposition.remainder.num_edges,
-                covered_fraction=decomposition.covered_edge_fraction(),
-            )
-        )
-    return result
+    named = [
+        (task_graph.name, task_graph.to_acg())
+        for task_graph in tgff_benchmark_suite(sizes=sizes, seed=seed)
+    ]
+    return run_sweep(
+        named,
+        library=library,
+        cost_model=LinkCountCostModel(),
+        config=config,
+        parallel=parallel,
+        max_workers=max_workers,
+    )
 
 
 def run_pajek_runtime_sweep(
@@ -151,28 +220,24 @@ def run_pajek_runtime_sweep(
     library: CommunicationLibrary | None = None,
     config: DecompositionConfig | None = None,
     seed: int = 11,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> RuntimeSweepResult:
     """Figure 4b: average run time over Pajek-style random graphs (10-40 nodes)."""
-    library = library or default_library()
-    config = config or default_sweep_config()
-    result = RuntimeSweepResult()
-    for acg in pajek_benchmark_suite(
-        sizes=sizes,
-        instances_per_size=instances_per_size,
-        edge_density=edge_density,
-        seed=seed,
-    ):
-        decomposition, runtime = _measure(acg, library, LinkCountCostModel(), config)
-        result.points.append(
-            RuntimePoint(
-                name=acg.name,
-                num_nodes=acg.num_nodes,
-                num_edges=acg.num_edges,
-                runtime_seconds=runtime,
-                total_cost=decomposition.total_cost,
-                num_matchings=decomposition.num_matchings,
-                remainder_edges=decomposition.remainder.num_edges,
-                covered_fraction=decomposition.covered_edge_fraction(),
-            )
+    named = [
+        (acg.name, acg)
+        for acg in pajek_benchmark_suite(
+            sizes=sizes,
+            instances_per_size=instances_per_size,
+            edge_density=edge_density,
+            seed=seed,
         )
-    return result
+    ]
+    return run_sweep(
+        named,
+        library=library,
+        cost_model=LinkCountCostModel(),
+        config=config,
+        parallel=parallel,
+        max_workers=max_workers,
+    )

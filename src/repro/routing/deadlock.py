@@ -19,9 +19,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
 
-from repro.arch.topology import Topology
 from repro.core.graph import DiGraph
-from repro.exceptions import DeadlockError, RoutingError
+from repro.exceptions import DeadlockError
 from repro.routing.table import RoutingTable
 
 NodeId = Hashable

@@ -10,7 +10,7 @@ table *construction* lives in :mod:`repro.core.routing_table` (synthesis) and
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 
 from repro.arch.topology import Topology

@@ -14,7 +14,6 @@ from repro.core.graph import ApplicationGraph, DiGraph
 from repro.core.matching import Matching, RemainderGraph
 from repro.core.primitives import make_gossip_primitive, make_loop_primitive
 from repro.energy.technology import FPGA_VIRTEX2
-from repro.workloads.acg_builder import attach_grid_floorplan
 
 
 @pytest.fixture()

@@ -13,8 +13,8 @@ from repro.core.decomposition import (
     decompose,
 )
 from repro.core.graph import ApplicationGraph
-from repro.core.library import CommunicationLibrary, default_library, minimal_library
-from repro.core.primitives import make_gossip_primitive, make_path_primitive
+from repro.core.library import CommunicationLibrary, minimal_library
+from repro.core.primitives import make_broadcast_primitive, make_gossip_primitive
 from repro.exceptions import DecompositionError
 from repro.workloads.random_acg import figure5_example_acg
 
@@ -119,6 +119,23 @@ class TestSearchBudgets:
         result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
         result.validate_cover()
 
+    def test_node_budget_checked_inside_candidate_loop(self, library):
+        # Regression: the cap used to be checked only at node entry, so one
+        # node could keep expanding children long after the budget was hit.
+        acg = figure5_example_acg()
+        for cap in (1, 3, 5):
+            config = quick_config(max_nodes_expanded=cap)
+            result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
+            result.validate_cover()
+            assert result.statistics.truncated
+        # with the loop check, a second child is never expanded once the
+        # budget is exhausted: greedy-fallback node counts aside, the
+        # branch-and-bound itself cannot exceed the cap
+        config = quick_config(max_nodes_expanded=4, total_timeout_seconds=None)
+        bnb = BranchAndBoundDecomposer(library, LinkCountCostModel(), config)
+        bnb_result = bnb.decompose(acg)
+        bnb_result.validate_cover()
+
     def test_max_leaves_budget(self, library):
         acg = figure5_example_acg()
         config = quick_config(max_leaves=1)
@@ -152,6 +169,153 @@ class TestStatisticsAndReporting:
         assert result.total_cost == pytest.approx(
             sum(result.matching_costs) + result.remainder_cost
         )
+
+
+class TestSymmetryFilteredLeaves:
+    """Regression: a partial decomposition whose children are all removed by
+    the symmetry filter must still be evaluated as a leaf.
+
+    The fixture is built so the optimum *requires* stopping early: covering
+    the star with G1to3 costs more than leaving it in the remainder (one of
+    the binomial-tree routes takes two hops), while covering the pair with
+    MGG2 is worthwhile.  Because MGG2 carries the larger canonical key, the
+    branch that takes MGG2 first finds the star matching filtered out
+    (``sort_key() < min_key``) — the buggy search silently dropped that
+    partial decomposition and returned the strictly worse full cover.
+    """
+
+    @staticmethod
+    def _library() -> CommunicationLibrary:
+        library = CommunicationLibrary(name="leaf-regression")
+        library.add(make_broadcast_primitive(3))  # id 1: G1to3, low sort key
+        library.add(make_gossip_primitive(2, name="MGG2"))  # id 2: high sort key
+        return library
+
+    @staticmethod
+    def _acg() -> ApplicationGraph:
+        acg = ApplicationGraph(name="star-plus-pair")
+        for receiver in ("a", "b", "c"):
+            acg.add_communication("s", receiver, volume=1.0)
+        acg.add_communication("x", "y", volume=1.0)
+        acg.add_communication("y", "x", volume=1.0)
+        return acg
+
+    def test_optimum_requires_symmetry_filtered_leaf(self):
+        # Cover costs: G1to3 = 1+1+2 hops = 4 > 3 * 1.2 remainder; MGG2 = 2
+        # < 2 * 1.2 remainder.  Optimum: MGG2 alone at 2 + 3.6 = 5.6; the
+        # buggy search could only score the full cover at 4 + 2 = 6.
+        cost_model = UnitCostModel(remainder_penalty=1.2)
+        result = BranchAndBoundDecomposer(
+            self._library(), cost_model, quick_config(max_matchings_per_primitive=None)
+        ).decompose(self._acg())
+        result.validate_cover()
+        assert result.primitives_used() == {"MGG2": 1}
+        assert result.remainder.num_edges == 3
+        assert result.total_cost == pytest.approx(5.6)
+
+    def test_leaf_also_scored_without_lower_bound(self):
+        cost_model = UnitCostModel(remainder_penalty=1.2)
+        result = BranchAndBoundDecomposer(
+            self._library(),
+            cost_model,
+            quick_config(max_matchings_per_primitive=None, use_lower_bound=False),
+        ).decompose(self._acg())
+        assert result.total_cost == pytest.approx(5.6)
+
+    def test_optimum_independent_of_library_order(self):
+        # With the library order reversed, MGG2 carries the *lower* key and
+        # the unprofitable star primitive survives the symmetry filter on the
+        # MGG2-first branch.  Stop-early leaves are scored at interior nodes
+        # too, so the 5.6 optimum must not depend on primitive insertion
+        # order.
+        library = CommunicationLibrary(name="leaf-regression-reversed")
+        library.add(make_gossip_primitive(2, name="MGG2"))  # id 1: low sort key
+        library.add(make_broadcast_primitive(3))  # id 2: G1to3, high sort key
+        cost_model = UnitCostModel(remainder_penalty=1.2)
+        result = BranchAndBoundDecomposer(
+            library, cost_model, quick_config(max_matchings_per_primitive=None)
+        ).decompose(self._acg())
+        result.validate_cover()
+        assert result.primitives_used() == {"MGG2": 1}
+        assert result.total_cost == pytest.approx(5.6)
+
+
+class TestSearchAccelerations:
+    """The matching cache and transposition table must not change results."""
+
+    def _all_configs(self):
+        for cache in (True, False):
+            for table in (True, False):
+                yield quick_config(use_matching_cache=cache, use_transposition_table=table)
+
+    def test_cache_and_table_preserve_figure5_result(self, library):
+        acg = figure5_example_acg()
+        costs = set()
+        for config in self._all_configs():
+            result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
+            result.validate_cover()
+            costs.add(result.total_cost)
+            assert result.primitives_used() == {"MGG4": 1, "G1to3": 3, "G1to4": 1}
+        assert len(costs) == 1
+
+    def test_cache_and_table_preserve_k4_result(self, k4_acg, library):
+        for config in self._all_configs():
+            result = decompose(k4_acg, library, cost_model=LinkCountCostModel(), config=config)
+            assert result.total_cost == pytest.approx(4.0)
+
+    def test_cache_statistics_populated(self, library):
+        acg = figure5_example_acg()
+        result = decompose(
+            acg, library, cost_model=LinkCountCostModel(), config=quick_config()
+        )
+        stats = result.statistics
+        assert stats.matching_cache_hits > 0
+        assert stats.matching_cache_misses > 0
+        assert 0.0 < stats.cache_hit_rate() < 1.0
+
+    def test_cache_disabled_reports_no_hits(self, library):
+        acg = figure5_example_acg()
+        result = decompose(
+            acg,
+            library,
+            cost_model=LinkCountCostModel(),
+            config=quick_config(use_matching_cache=False),
+        )
+        assert result.statistics.matching_cache_hits == 0
+        assert result.statistics.matching_cache_misses > 0
+
+    @staticmethod
+    def _revisiting_acg() -> ApplicationGraph:
+        """A small random digraph whose clipped candidate lists reach the same
+        residual edge set through different matching interleavings."""
+        import random
+
+        rng = random.Random(10)
+        acg = ApplicationGraph(name="transposition-probe")
+        edges: set[tuple[int, int]] = set()
+        while len(edges) < 14:
+            source, target = rng.sample(range(8), 2)
+            edges.add((source, target))
+        for source, target in sorted(edges):
+            acg.add_communication(source, target, volume=1.0)
+        return acg
+
+    def test_transposition_hits_on_commuting_overlaps(self, library):
+        acg = self._revisiting_acg()
+        config = quick_config(max_matchings_per_primitive=3)
+        result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
+        result.validate_cover()
+        assert result.statistics.transposition_hits > 0
+
+        # ... and disabling the table reproduces the same cost.
+        baseline = decompose(
+            acg,
+            library,
+            cost_model=LinkCountCostModel(),
+            config=quick_config(max_matchings_per_primitive=3, use_transposition_table=False),
+        )
+        assert baseline.statistics.transposition_hits == 0
+        assert baseline.total_cost == pytest.approx(result.total_cost)
 
 
 class TestMinimalLibraryBehaviour:

@@ -268,3 +268,79 @@ class TestGraphStatistics:
         stats = GraphStatistics.of(DiGraph())
         assert stats.num_nodes == 0
         assert stats.density == 0.0
+
+
+class TestCachedStructuralCounters:
+    """num_edges / degrees are maintained incrementally and must never drift."""
+
+    @staticmethod
+    def _assert_counters_consistent(graph: DiGraph) -> None:
+        recomputed_edges = sum(len(graph.successors(node)) for node in graph.nodes())
+        assert graph.num_edges == recomputed_edges
+        for node in graph.nodes():
+            assert graph.out_degree(node) == len(graph.successors(node))
+            assert graph.in_degree(node) == len(graph.predecessors(node))
+            assert graph.degree(node) == len(graph.successors(node)) + len(
+                graph.predecessors(node)
+            )
+
+    def test_counters_after_interleaved_add_remove(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 1)
+        graph.add_edge(1, 3)
+        self._assert_counters_consistent(graph)
+        graph.remove_edge(2, 3)
+        graph.add_edge(2, 3)
+        graph.remove_node(3)  # removes (3, 1), (1, 3) and (2, 3)
+        self._assert_counters_consistent(graph)
+        assert graph.num_edges == 1
+        assert graph.degree(1) == 1
+
+    def test_counters_survive_copy_and_difference(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3), (3, 4), (4, 1)])
+        clone = graph.copy()
+        self._assert_counters_consistent(clone)
+        remainder = graph.graph_difference(graph.edge_induced_subgraph([(1, 2), (2, 3)]))
+        self._assert_counters_consistent(remainder)
+        assert remainder.num_edges == 2
+
+    def test_degree_queries_raise_for_missing_nodes(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            graph.out_degree(99)
+        with pytest.raises(NodeNotFoundError):
+            graph.in_degree(99)
+
+    def test_adjacency_map_accessors(self):
+        graph = DiGraph.from_edges([(1, 2), (1, 3), (3, 1)])
+        assert set(graph.successor_map(1)) == {2, 3}
+        assert set(graph.predecessor_map(1)) == {3}
+        with pytest.raises(NodeNotFoundError):
+            graph.successor_map(99)
+
+
+class TestEdgeSignature:
+    def test_signature_is_insertion_order_independent(self):
+        first = DiGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        second = DiGraph.from_edges([(3, 1), (1, 2), (2, 3)])
+        assert first.edge_signature() == second.edge_signature()
+
+    def test_signature_changes_and_restores_with_edge_set(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)])
+        original = graph.edge_signature()
+        graph.remove_edge(1, 2)
+        assert graph.edge_signature() != original
+        graph.add_edge(1, 2)
+        assert graph.edge_signature() == original
+
+    def test_signature_distinguishes_direction(self):
+        forward = DiGraph.from_edges([(1, 2)])
+        backward = DiGraph.from_edges([(2, 1)])
+        assert forward.edge_signature() != backward.edge_signature()
+
+    def test_signature_on_empty_graph(self):
+        graph = DiGraph()
+        graph.add_node(1)
+        assert graph.edge_signature() == (0, 0)

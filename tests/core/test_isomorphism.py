@@ -146,6 +146,16 @@ class TestNodeCompatibilityAndTimeout:
         options = MatcherOptions(timeout_seconds=0.0)
         matcher = VF2Matcher(pattern, target, options)
         assert matcher.find_all() == []
+        # the truncation is observable, so callers (e.g. the decomposition's
+        # matching cache) can tell a complete enumeration from a cut-off one
+        assert matcher.timed_out
+
+    def test_complete_enumeration_reports_no_timeout(self):
+        pattern = DiGraph.from_edges([(1, 2)])
+        target = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        matcher = VF2Matcher(pattern, target, MatcherOptions(timeout_seconds=30.0))
+        assert len(matcher.find_all()) == 2
+        assert not matcher.timed_out
 
 
 class TestGraphIsomorphism:

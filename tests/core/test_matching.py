@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.graph import ApplicationGraph, DiGraph
+from repro.core.graph import DiGraph
 from repro.core.isomorphism import find_subgraph_isomorphism
 from repro.core.matching import Matching, RemainderGraph
 from repro.core.primitives import make_gossip_primitive, make_path_primitive

@@ -9,7 +9,6 @@ from repro.core.cost import LinkCountCostModel
 from repro.core.decomposition import DecompositionConfig, decompose
 from repro.core.routing_table import build_routing_table, install_flow_weakly, routes_for_traffic
 from repro.core.synthesis import TopologySynthesizer
-from repro.exceptions import RoutingError
 from repro.routing.table import RoutingTable
 
 

@@ -82,6 +82,40 @@ class TestFigure4Sweeps:
         assert result.max_runtime() >= max(series.values()) - 1e-9
         assert len(result.to_rows()) == 4
 
+    def test_sweep_points_carry_search_statistics(self):
+        result = run_tgff_runtime_sweep(sizes=(5, 8))
+        assert all("matchings_tried" in point.search_statistics for point in result.points)
+        summary = result.cache_summary()
+        assert summary["matchings_tried"] > 0
+        assert summary["matching_cache_hits"] >= 0
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = run_tgff_runtime_sweep(sizes=(5, 8, 10))
+        parallel = run_tgff_runtime_sweep(
+            sizes=(5, 8, 10), parallel=True, max_workers=2
+        )
+        assert [point.name for point in serial.points] == [
+            point.name for point in parallel.points
+        ]
+        assert [point.total_cost for point in serial.points] == [
+            point.total_cost for point in parallel.points
+        ]
+        assert [point.num_matchings for point in serial.points] == [
+            point.num_matchings for point in parallel.points
+        ]
+
+    def test_parallel_pajek_sweep_matches_serial(self):
+        serial = run_pajek_runtime_sweep(sizes=(10, 15), instances_per_size=1)
+        parallel = run_pajek_runtime_sweep(
+            sizes=(10, 15), instances_per_size=1, parallel=True, max_workers=2
+        )
+        assert [point.total_cost for point in serial.points] == [
+            point.total_cost for point in parallel.points
+        ]
+        # cache counters are deterministic up to VF2 wall-clock timeouts,
+        # which never trigger on graphs this small
+        assert serial.cache_summary() == parallel.cache_summary()
+
 
 class TestFigure5Example:
     def test_matches_paper_listing(self):

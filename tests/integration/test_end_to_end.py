@@ -12,7 +12,6 @@ from repro import (
     synthesize_architecture,
 )
 from repro.arch.metrics import topology_report
-from repro.arch.mesh import build_mesh
 from repro.core.constraints import channel_volume_loads
 from repro.noc import NoCSimulator, SimulatorConfig, acg_messages
 from repro.routing.xy import xy_next_hop

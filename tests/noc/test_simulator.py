@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch.mesh import build_mesh
 from repro.arch.topology import Topology
-from repro.energy.technology import FPGA_VIRTEX2
 from repro.exceptions import SimulationError
 from repro.noc.packet import Message
 from repro.noc.simulator import NoCSimulator, SimulatorConfig

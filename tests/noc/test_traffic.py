@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.graph import ApplicationGraph
 from repro.exceptions import WorkloadError
 from repro.noc.traffic import (
     InjectionSchedule,

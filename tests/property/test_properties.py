@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+from itertools import permutations
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.cost import LinkCountCostModel, UnitCostModel
 from repro.core.decomposition import DecompositionConfig, decompose
 from repro.core.graph import ApplicationGraph, DiGraph
-from repro.core.isomorphism import find_subgraph_isomorphism
+from repro.core.isomorphism import MatcherOptions, VF2Matcher, find_subgraph_isomorphism
 from repro.core.library import default_library
 from repro.core.schedules import binomial_broadcast_schedule, broadcast_round_lower_bound
 from repro.energy.bit_energy import BitEnergyModel
@@ -109,6 +111,70 @@ def test_isomorphism_mapping_is_injective(graph):
     assert len(targets) == len(set(targets))
 
 
+def _brute_force_covered_edge_sets(pattern: DiGraph, target: DiGraph) -> set[frozenset]:
+    """All distinct covered target-edge sets of pattern monomorphisms.
+
+    Exhaustive reference enumerator: try every injective assignment of
+    pattern nodes to target nodes and keep the ones where every pattern edge
+    lands on a target edge (the monomorphism semantics of Definition 3/4).
+    """
+    pattern_nodes = pattern.nodes()
+    edge_sets: set[frozenset] = set()
+    for assignment in permutations(target.nodes(), len(pattern_nodes)):
+        binding = dict(zip(pattern_nodes, assignment))
+        if all(
+            target.has_edge(binding[source], binding[target_node])
+            for source, target_node in pattern.edges()
+        ):
+            edge_sets.add(
+                frozenset(
+                    (binding[source], binding[target_node])
+                    for source, target_node in pattern.edges()
+                )
+            )
+    return edge_sets
+
+
+_VF2_PATTERNS = {
+    "pair": DiGraph.from_edges([(1, 2), (2, 1)]),
+    "path3": DiGraph.from_edges([(1, 2), (2, 3)]),
+    "fork": DiGraph.from_edges([(1, 2), (1, 3)]),
+    "triangle": DiGraph.from_edges([(1, 2), (2, 3), (3, 1)]),
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(max_nodes=6, max_edges=12), st.sampled_from(sorted(_VF2_PATTERNS)))
+def test_vf2_find_all_agrees_with_brute_force(target, pattern_name):
+    """VF2's de-duplicated enumeration is exactly the brute-force edge sets."""
+    pattern = _VF2_PATTERNS[pattern_name]
+    matcher = VF2Matcher(pattern, target, MatcherOptions(deduplicate_by_edges=True))
+    found = matcher.find_all(limit=None)
+    vf2_edge_sets = {mapping.covered_edges(pattern) for mapping in found}
+    assert len(vf2_edge_sets) == len(found)  # de-duplication really is by edges
+    assert vf2_edge_sets == _brute_force_covered_edge_sets(pattern, target)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists(max_nodes=6, max_edges=20))
+def test_cached_degree_counters_match_recomputation(operations):
+    """Interleaved add/remove sequences never let the O(1) counters drift."""
+    graph = DiGraph()
+    for source, target in operations:
+        if graph.has_edge(source, target):
+            graph.remove_edge(source, target)
+        else:
+            graph.add_edge(source, target, exist_ok=True)
+    assert graph.num_edges == sum(len(graph.successors(n)) for n in graph.nodes())
+    for node in graph.nodes():
+        assert graph.out_degree(node) == len(graph.successors(node))
+        assert graph.in_degree(node) == len(graph.predecessors(node))
+    # the signature is canonical: rebuilding the same edge set from scratch
+    # (different insertion history) must reproduce it
+    rebuilt = DiGraph.from_edges(sorted(graph.edges()), nodes=graph.nodes())
+    assert rebuilt.edge_signature() == graph.edge_signature()
+
+
 # ----------------------------------------------------------------------
 # decomposition invariants (Equation 2: matchings + remainder == ACG)
 # ----------------------------------------------------------------------
@@ -135,6 +201,25 @@ def test_decomposition_cost_is_sum_of_parts(acg):
     result = decompose(acg, _LIBRARY, cost_model=UnitCostModel(), config=config)
     assert result.total_cost >= 0
     assert abs(result.total_cost - (sum(result.matching_costs) + result.remainder_cost)) < 1e-6
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(acgs(max_nodes=7, max_edges=10))
+def test_matching_cache_and_transposition_preserve_cost(acg):
+    """With complete enumerations, the accelerated search is cost-identical."""
+    costs = set()
+    for cache in (True, False):
+        config = DecompositionConfig(
+            max_matchings_per_primitive=None,
+            total_timeout_seconds=10.0,
+            max_nodes_expanded=300,
+            use_matching_cache=cache,
+            use_transposition_table=cache,
+        )
+        result = decompose(acg, _LIBRARY, cost_model=LinkCountCostModel(), config=config)
+        result.validate_cover()
+        costs.add(round(result.total_cost, 9))
+    assert len(costs) == 1
 
 
 # ----------------------------------------------------------------------

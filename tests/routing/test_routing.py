@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch.mesh import build_mesh
 from repro.arch.topology import Topology
 from repro.exceptions import DeadlockError, RoutingError
 from repro.routing.deadlock import (
