@@ -40,11 +40,14 @@ def main() -> None:
     pajek_sizes = (10, 15, 20, 25, 30, 35, 40) if arguments.full else (10, 14, 18)
     instances = 3 if arguments.full else 1
 
-    tgff = run_tgff_runtime_sweep(sizes=tgff_sizes)
+    # seeds are stated explicitly (not left to signature defaults) so the
+    # generated graphs — and any DSE cache keys derived from them — are
+    # reproducible across processes and sessions
+    tgff = run_tgff_runtime_sweep(sizes=tgff_sizes, seed=7)
     print(tgff.describe("Figure 4a — decomposition runtime on TGFF-like graphs"))
     print()
 
-    pajek = run_pajek_runtime_sweep(sizes=pajek_sizes, instances_per_size=instances)
+    pajek = run_pajek_runtime_sweep(sizes=pajek_sizes, instances_per_size=instances, seed=11)
     print(pajek.describe("Figure 4b — decomposition runtime on Pajek-like graphs"))
 
 

@@ -17,6 +17,8 @@ The public API is organised in subpackages:
 * :mod:`repro.workloads` — TGFF-like and Pajek-like benchmark generators.
 * :mod:`repro.aes` — AES-128 and its distributed 16-node byte-slice model.
 * :mod:`repro.experiments` — the experiments behind every figure and table.
+* :mod:`repro.dse` — batch design-space exploration: scenario suites, a
+  cached sweep runner and Pareto-front reporting (``python -m repro.dse``).
 
 Quickstart::
 

@@ -1,0 +1,127 @@
+"""Batch design-space exploration over the full synthesis flow.
+
+``repro.dse`` turns the per-figure experiment scripts into a batch
+exploration engine:
+
+* :mod:`repro.dse.pipeline` — ``evaluate(scenario, settings)`` chains
+  decompose -> synthesize -> floorplan/route -> simulate -> energy and
+  returns every metric (and every failure) as one record;
+* :mod:`repro.dse.scenarios` — named scenario suites over the AES case
+  study, published embedded benchmarks, TGFF/Pajek generators and
+  degree-sequence random graphs;
+* :mod:`repro.dse.runner` — grid expansion + process-pool fan-out with a
+  content-hash-keyed on-disk JSONL cache (re-runs only execute new cells);
+* :mod:`repro.dse.analysis` — Pareto fronts over energy/latency/
+  throughput and mesh-baseline normalization;
+* ``python -m repro.dse`` — the ``run`` / ``report`` / ``list-scenarios``
+  command line.
+
+Quickstart::
+
+    from repro.dse import build_suite, get_suite, run_sweep, pareto_report, ResultCache
+
+    spec = get_suite("smoke")
+    result = run_sweep(spec.build(), base=spec.base_settings,
+                       axes=spec.default_axes, cache=ResultCache("results.jsonl"))
+    print(pareto_report(result.records))
+"""
+
+from repro.dse.analysis import (
+    DEFAULT_MAXIMIZE,
+    DEFAULT_MINIMIZE,
+    custom_dominates_mesh,
+    dominates,
+    mesh_baseline_for,
+    normalize_to_mesh,
+    pareto_front,
+    pareto_report,
+)
+from repro.dse.cache import PIPELINE_VERSION, ResultCache, cache_key
+from repro.dse.pipeline import (
+    ArchitectureMetrics,
+    EvaluationSettings,
+    Scenario,
+    build_baseline_mesh,
+    evaluate,
+    simulate_acg_traffic,
+    simulate_aes_traffic,
+)
+from repro.dse.records import (
+    ALL_STATUSES,
+    STATUS_DECOMPOSITION_FAILED,
+    STATUS_OK,
+    STATUS_ROUTING_FAILED,
+    STATUS_SIMULATION_FAILED,
+    STATUS_SYNTHESIS_FAILED,
+    EvaluationRecord,
+)
+from repro.dse.runner import (
+    SweepCell,
+    SweepResult,
+    axis_label,
+    expand_grid,
+    plan_sweep,
+    run_sweep,
+)
+from repro.dse.scenarios import (
+    SuiteSpec,
+    aes_scenario,
+    build_suite,
+    describe_suites,
+    embedded_scenario,
+    erdos_renyi_scenario,
+    get_suite,
+    planted_scenario,
+    register_suite,
+    scale_free_scenario,
+    scenario_rows,
+    suite_names,
+    tgff_scenario,
+)
+
+__all__ = [
+    "evaluate",
+    "EvaluationRecord",
+    "EvaluationSettings",
+    "Scenario",
+    "ArchitectureMetrics",
+    "simulate_aes_traffic",
+    "simulate_acg_traffic",
+    "build_baseline_mesh",
+    "STATUS_OK",
+    "STATUS_DECOMPOSITION_FAILED",
+    "STATUS_SYNTHESIS_FAILED",
+    "STATUS_ROUTING_FAILED",
+    "STATUS_SIMULATION_FAILED",
+    "ALL_STATUSES",
+    "ResultCache",
+    "cache_key",
+    "PIPELINE_VERSION",
+    "run_sweep",
+    "plan_sweep",
+    "expand_grid",
+    "axis_label",
+    "SweepCell",
+    "SweepResult",
+    "SuiteSpec",
+    "register_suite",
+    "get_suite",
+    "build_suite",
+    "suite_names",
+    "describe_suites",
+    "scenario_rows",
+    "aes_scenario",
+    "embedded_scenario",
+    "tgff_scenario",
+    "planted_scenario",
+    "erdos_renyi_scenario",
+    "scale_free_scenario",
+    "pareto_front",
+    "pareto_report",
+    "dominates",
+    "custom_dominates_mesh",
+    "normalize_to_mesh",
+    "mesh_baseline_for",
+    "DEFAULT_MINIMIZE",
+    "DEFAULT_MAXIMIZE",
+]

@@ -1,0 +1,166 @@
+"""Command-line entry point: ``python -m repro.dse <run|report|list-scenarios>``.
+
+Examples::
+
+    python -m repro.dse list-scenarios
+    python -m repro.dse list-scenarios --suite embedded
+    python -m repro.dse run --suite smoke
+    python -m repro.dse run --suite random --parallel --axis library=default,extended
+    python -m repro.dse report
+    python -m repro.dse report --suite smoke --csv sweep.csv
+
+``run`` executes a suite's grid against the on-disk cache (re-runs only
+evaluate new cells); ``report`` prints per-scenario Pareto tables with
+mesh-normalized columns from the cached results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.dse.analysis import pareto_report, normalize_to_mesh
+from repro.dse.cache import ResultCache
+from repro.dse.runner import run_sweep
+from repro.dse.scenarios import build_suite, describe_suites, get_suite, scenario_rows
+from repro.exceptions import ConfigurationError, ReproError
+
+DEFAULT_RESULTS = Path("dse_results") / "results.jsonl"
+
+
+def _coerce(text: str) -> object:
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _parse_axes(specs: Sequence[str]) -> dict[str, list[object]]:
+    axes: dict[str, list[object]] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise ConfigurationError(
+                f"bad --axis {spec!r}: expected name=value[,value...]"
+            )
+        name, _, values = spec.partition("=")
+        axes[name.strip()] = [_coerce(value) for value in values.split(",") if value != ""]
+    return axes
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    spec = get_suite(arguments.suite)
+    scenarios = spec.build()
+    axes = dict(spec.default_axes)
+    axes.update(_parse_axes(arguments.axis))
+    cache = ResultCache(arguments.results)
+    result = run_sweep(
+        scenarios,
+        base=spec.base_settings,
+        axes=axes,
+        cache=cache,
+        parallel=arguments.parallel,
+        max_workers=arguments.workers,
+    )
+    print(f"suite {spec.name!r}: {len(scenarios)} scenarios x grid {axes}")
+    print(result.describe())
+    for record in result.failed():
+        print(f"  FAILED {record.scenario} [{record.config_label}]: "
+              f"{record.status}: {record.error}")
+    print(f"results: {cache.describe()}")
+    print("next: python -m repro.dse report"
+          + (f" --results {arguments.results}" if arguments.results != DEFAULT_RESULTS else ""))
+    return 0
+
+
+def _cmd_report(arguments: argparse.Namespace) -> int:
+    cache = ResultCache(arguments.results)
+    records = cache.all_records()
+    if arguments.suite:
+        wanted = {scenario.name for scenario in build_suite(arguments.suite)}
+        records = [record for record in records if record.scenario in wanted]
+    if not records:
+        print(f"no records in {arguments.results} — run a sweep first "
+              "(python -m repro.dse run --suite smoke)")
+        return 1
+    print(pareto_report(records))
+    if arguments.csv:
+        # imported lazily for the same reason as in repro.dse.analysis
+        from repro.experiments.reporting import rows_to_csv
+
+        rows_to_csv(normalize_to_mesh(records), arguments.csv)
+        print(f"\nwrote {len(records)} rows to {arguments.csv}")
+    return 0
+
+
+def _cmd_list_scenarios(arguments: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+
+    if arguments.suite:
+        rows = scenario_rows(build_suite(arguments.suite))
+        print(format_table(rows, title=f"suite: {arguments.suite}"))
+    else:
+        print(format_table(describe_suites(), title="registered scenario suites"))
+        print("\nuse --suite NAME to list a suite's scenarios")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="batch NoC design-space exploration over scenario suites",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="execute a suite's sweep grid (cached)")
+    run.add_argument("--suite", default="smoke", help="scenario suite name (default: smoke)")
+    run.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
+                     help=f"JSONL result cache (default: {DEFAULT_RESULTS})")
+    run.add_argument("--parallel", action="store_true",
+                     help="fan cells out over a process pool")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: cpu count)")
+    run.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
+                     help="override/add a grid axis (repeatable)")
+    run.set_defaults(handler=_cmd_run)
+
+    report = commands.add_parser("report", help="Pareto/baseline report from cached results")
+    report.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    report.add_argument("--suite", default=None,
+                        help="restrict the report to one suite's scenarios")
+    report.add_argument("--csv", type=Path, default=None,
+                        help="also export the report rows as CSV")
+    report.set_defaults(handler=_cmd_report)
+
+    listing = commands.add_parser("list-scenarios", help="list suites or a suite's scenarios")
+    listing.add_argument("--suite", default=None)
+    listing.set_defaults(handler=_cmd_list_scenarios)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # the downstream consumer (head, grep -q, ...) closed the pipe;
+        # silence the interpreter-shutdown flush and exit cleanly
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

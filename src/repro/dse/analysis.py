@@ -1,0 +1,240 @@
+"""Sweep analysis: Pareto fronts, mesh-baseline normalization, reports.
+
+The exploration's deliverable is not one number but a *frontier*: which
+(architecture, configuration) cells are not dominated on the
+energy / latency / throughput trade-off, and how each cell compares to
+the standard-mesh baseline evaluated under identical traffic.  All
+helpers operate on :class:`~repro.dse.records.EvaluationRecord` lists
+as produced by the runner or loaded from the JSONL cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dse.pipeline import EvaluationSettings
+from repro.dse.records import EvaluationRecord
+
+#: default Pareto objectives (smaller is better)
+DEFAULT_MINIMIZE = ("energy_per_iteration_uj", "avg_latency_cycles")
+#: default Pareto objectives (larger is better)
+DEFAULT_MAXIMIZE = ("throughput_mbps",)
+
+MESH_ARCHITECTURE = "mesh"
+
+
+def _objective_values(
+    record: EvaluationRecord,
+    minimize: Sequence[str],
+    maximize: Sequence[str],
+) -> list[float] | None:
+    """All objectives as minimization values, or None if any is missing."""
+    values: list[float] = []
+    for key in minimize:
+        value = record.metric(key)
+        if value is None:
+            return None
+        values.append(value)
+    for key in maximize:
+        value = record.metric(key)
+        if value is None:
+            return None
+        values.append(-value)
+    return values
+
+
+def dominates(
+    challenger: EvaluationRecord,
+    incumbent: EvaluationRecord,
+    minimize: Sequence[str] = DEFAULT_MINIMIZE,
+    maximize: Sequence[str] = DEFAULT_MAXIMIZE,
+) -> bool:
+    """True when ``challenger`` is at least as good everywhere and better somewhere."""
+    left = _objective_values(challenger, minimize, maximize)
+    right = _objective_values(incumbent, minimize, maximize)
+    if left is None or right is None:
+        return False
+    return all(a <= b for a, b in zip(left, right)) and any(
+        a < b for a, b in zip(left, right)
+    )
+
+
+def pareto_front(
+    records: Sequence[EvaluationRecord],
+    minimize: Sequence[str] = DEFAULT_MINIMIZE,
+    maximize: Sequence[str] = DEFAULT_MAXIMIZE,
+) -> list[EvaluationRecord]:
+    """The non-dominated subset of the successful records."""
+    candidates = [
+        record
+        for record in records
+        if record.succeeded and _objective_values(record, minimize, maximize) is not None
+    ]
+    return [
+        record
+        for record in candidates
+        if not any(
+            other is not record and dominates(other, record, minimize, maximize)
+            for other in candidates
+        )
+    ]
+
+
+def _non_architecture_axes(record: EvaluationRecord) -> dict[str, object]:
+    return {key: value for key, value in record.axes.items() if key != "architecture"}
+
+
+def _mesh_relevant_axes(record: EvaluationRecord) -> dict[str, object]:
+    """The record's axes restricted to fields a mesh evaluation reads."""
+    custom_only = set(EvaluationSettings._CUSTOM_ONLY_FIELDS)
+    return {
+        key: value
+        for key, value in record.axes.items()
+        if key != "architecture" and key not in custom_only
+    }
+
+
+def mesh_baseline_for(
+    record: EvaluationRecord, records: Sequence[EvaluationRecord]
+) -> EvaluationRecord | None:
+    """The mesh record measured under the same scenario and grid cell.
+
+    Prefers the mesh cell whose non-architecture axes match exactly; falls
+    back to a mesh record that matches on every *mesh-relevant* axis (the
+    mesh ignores decomposition/synthesis knobs, so such a cell is the same
+    operating point).  A mesh cell differing on a mesh-relevant axis — e.g.
+    the router pipeline depth — is never used as a baseline: returns None
+    instead of a misleading ratio.
+    """
+    mesh_records = [
+        other
+        for other in records
+        if other.scenario == record.scenario
+        and other.architecture == MESH_ARCHITECTURE
+        and other.succeeded
+    ]
+    wanted = _non_architecture_axes(record)
+    for other in mesh_records:
+        if _non_architecture_axes(other) == wanted:
+            return other
+    wanted_relevant = _mesh_relevant_axes(record)
+    for other in mesh_records:
+        if _mesh_relevant_axes(other) == wanted_relevant:
+            return other
+    return None
+
+
+def normalize_to_mesh(
+    records: Sequence[EvaluationRecord],
+    keys: Sequence[str] = ("avg_latency_cycles", "energy_per_iteration_uj", "throughput_mbps"),
+) -> list[dict[str, object]]:
+    """Reporting rows with ``<metric>_vs_mesh`` ratio columns added.
+
+    A ratio below 1.0 means "less than the mesh baseline" (good for latency
+    and energy); throughput above 1.0 means faster than the mesh.
+    """
+    rows: list[dict[str, object]] = []
+    for record in records:
+        row = record.as_row()
+        baseline = mesh_baseline_for(record, records)
+        if baseline is not None and record.succeeded:
+            for key in keys:
+                value = record.metric(key)
+                reference = baseline.metric(key)
+                if value is not None and reference not in (None, 0.0):
+                    row[f"{key}_vs_mesh"] = value / reference
+        rows.append(row)
+    return rows
+
+
+def custom_dominates_mesh(
+    records: Sequence[EvaluationRecord],
+    scenario: str,
+    minimize: Sequence[str] = DEFAULT_MINIMIZE,
+    maximize: Sequence[str] = DEFAULT_MAXIMIZE,
+) -> bool:
+    """Does some custom cell Pareto-dominate every mesh cell of the scenario?
+
+    This is the paper's Section-5.2 shape: the synthesized architecture wins
+    on every figure of merit simultaneously, not just on one axis.
+    """
+    scoped = [record for record in records if record.scenario == scenario]
+    mesh_cells = [
+        record
+        for record in scoped
+        if record.architecture == MESH_ARCHITECTURE and record.succeeded
+    ]
+    custom_cells = [
+        record
+        for record in scoped
+        if record.architecture != MESH_ARCHITECTURE and record.succeeded
+    ]
+    if not mesh_cells or not custom_cells:
+        return False
+    return any(
+        all(dominates(custom, mesh, minimize, maximize) for mesh in mesh_cells)
+        for custom in custom_cells
+    )
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+_REPORT_COLUMNS = (
+    "arch",
+    "config",
+    "status",
+    "pareto",
+    "cycles_per_iteration",
+    "avg_latency_cycles",
+    "throughput_mbps",
+    "energy_per_iteration_uj",
+    "avg_power_mw",
+    "physical_links",
+    "avg_latency_cycles_vs_mesh",
+    "energy_per_iteration_uj_vs_mesh",
+    "throughput_mbps_vs_mesh",
+)
+
+
+def scenario_names(records: Sequence[EvaluationRecord]) -> list[str]:
+    seen: dict[str, None] = {}
+    for record in records:
+        seen.setdefault(record.scenario, None)
+    return list(seen)
+
+
+def pareto_report(
+    records: Sequence[EvaluationRecord],
+    minimize: Sequence[str] = DEFAULT_MINIMIZE,
+    maximize: Sequence[str] = DEFAULT_MAXIMIZE,
+) -> str:
+    """One table per scenario: all cells, Pareto members starred,
+    mesh-normalized ratio columns, and a dominance verdict line."""
+    # imported lazily: repro.experiments pulls in the comparison module,
+    # which itself builds on this package's pipeline
+    from repro.experiments.reporting import format_table
+
+    sections: list[str] = []
+    for scenario in scenario_names(records):
+        scoped = [record for record in records if record.scenario == scenario]
+        front = set(id(record) for record in pareto_front(scoped, minimize, maximize))
+        rows = []
+        for row, record in zip(normalize_to_mesh(scoped), scoped):
+            row["pareto"] = "*" if id(record) in front else ""
+            rows.append(row)
+        columns = [
+            column
+            for column in _REPORT_COLUMNS
+            if any(column in row for row in rows)
+        ]
+        table = format_table(rows, columns=columns, title=f"scenario: {scenario}")
+        verdict = (
+            "custom Pareto-dominates the mesh baseline"
+            if custom_dominates_mesh(records, scenario, minimize, maximize)
+            else "custom does not dominate the mesh baseline"
+        )
+        sections.append(f"{table}\n  -> {scenario}: {verdict}")
+    if not sections:
+        return "(no records)"
+    return "\n\n".join(sections)

@@ -1,0 +1,120 @@
+"""On-disk result cache for DSE sweeps (content-hash keyed JSONL).
+
+A sweep cell is identified by the SHA-256 of its canonical JSON content:
+the scenario *fingerprint* (workload structure, volumes, positions,
+traffic mode and generator parameters — including the explicit seeds)
+plus the effective :class:`~repro.dse.pipeline.EvaluationSettings`.
+Labels and suite names are deliberately not part of the key, so renaming
+a suite never invalidates results, while changing a volume, a seed or
+any knob always does.
+
+Results append to one JSONL file, one record per line, which makes the
+store crash-safe (a truncated trailing line is skipped on load) and
+merge-friendly (files from several machines can simply be concatenated).
+Re-running a sweep only evaluates cells whose key is absent.
+
+One caveat on merging: a cell whose decomposition search exhausted its
+wall-clock budget (``search_statistics["truncated"]`` is true in the
+record) carries a machine-speed-dependent result — a slower host may
+have cached a worse decomposition under the same content key.  Within
+one cache file this is consistent ("newest wins"); when merging files
+from heterogeneous machines, treat truncated cells as approximate or
+re-run them with a larger ``decomposition_timeout_seconds``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.dse.pipeline import EvaluationSettings, Scenario
+from repro.dse.records import EvaluationRecord
+
+#: bump when the pipeline's measurement semantics change incompatibly, so
+#: stale caches are invalidated wholesale instead of silently misread
+PIPELINE_VERSION = 1
+
+
+def cache_key(scenario: Scenario, settings: EvaluationSettings) -> str:
+    """Stable content hash of one (scenario, configuration) cell."""
+    effective = scenario.effective_settings(settings)
+    payload = {
+        "pipeline_version": PIPELINE_VERSION,
+        "scenario": scenario.fingerprint(),
+        "settings": effective.canonical_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A JSONL file of :class:`EvaluationRecord` lines keyed by content hash."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, EvaluationRecord] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, EvaluationRecord]:
+        """Read every stored record (newest wins per key); idempotent."""
+        if self._loaded:
+            return self._records
+        self._loaded = True
+        if self.path.exists():
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated line (crashed writer): skip, don't die
+                if not isinstance(payload, dict):
+                    continue  # foreign JSONL content: skip, don't die
+                try:
+                    record = EvaluationRecord.from_dict(payload)
+                except TypeError:
+                    continue  # missing required fields: skip, don't die
+                if record.cache_key:
+                    record.from_cache = True
+                    self._records[record.cache_key] = record
+        return self._records
+
+    def get(self, key: str) -> EvaluationRecord | None:
+        return self.load().get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def store(self, record: EvaluationRecord) -> None:
+        """Append one record (it must carry its cache key)."""
+        if not record.cache_key:
+            raise ValueError("cannot cache a record without a cache_key")
+        self.load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(record.to_json() + "\n")
+        self._records[record.cache_key] = record
+
+    def store_all(self, records: list[EvaluationRecord]) -> None:
+        for record in records:
+            self.store(record)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def all_records(self) -> list[EvaluationRecord]:
+        return list(self.load().values())
+
+    def describe(self) -> str:
+        return f"{self.path} ({len(self)} cached cells)"

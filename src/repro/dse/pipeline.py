@@ -1,0 +1,565 @@
+"""The shared evaluation pipeline: one (scenario, configuration) -> record.
+
+This is the engine the batch design-space exploration is built on — and
+the same engine the Section-5.2 prototype comparison now runs on
+(:mod:`repro.experiments.comparison` delegates its measurements here).
+One call to :func:`evaluate` chains the full flow
+
+    decompose -> synthesize -> floorplan/route -> simulate -> energy
+
+for the ``custom`` architecture, or builds the mesh baseline with XY
+routing for ``mesh``, then drives the cycle-level simulator with the
+scenario's traffic (plain ACG batches, or the dependency-aware AES
+phases) and captures every figure of merit into an
+:class:`~repro.dse.records.EvaluationRecord`.  Failures at any stage
+become record statuses, not exceptions: an infeasible or deadlocking
+configuration is a *result* of the exploration.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field, fields, replace
+
+from repro.aes.aes_core import FIPS197_KEY
+from repro.aes.distributed import DistributedAES
+from repro.arch.mesh import MeshTopology, build_mesh
+from repro.arch.topology import Topology
+from repro.core.cost import LinkCountCostModel
+from repro.core.decomposition import (
+    DecompositionConfig,
+    DecompositionResult,
+    SearchStrategy,
+    decompose,
+)
+from repro.core.graph import ApplicationGraph
+from repro.core.library import (
+    CommunicationLibrary,
+    aes_library,
+    default_library,
+    extended_library,
+    minimal_library,
+)
+from repro.core.synthesis import (
+    SynthesisOptions,
+    SynthesizedArchitecture,
+    synthesize_architecture,
+)
+from repro.dse.records import (
+    STATUS_DECOMPOSITION_FAILED,
+    STATUS_ROUTING_FAILED,
+    STATUS_SIMULATION_FAILED,
+    STATUS_SYNTHESIS_FAILED,
+    EvaluationRecord,
+)
+from repro.energy.technology import Technology, get_technology
+from repro.exceptions import (
+    ConfigurationError,
+    DecompositionError,
+    RoutingError,
+    SimulationError,
+    SynthesisError,
+)
+from repro.noc.simulator import NoCSimulator, SimulatorConfig
+from repro.noc.stats import throughput_mbps_from_cycles
+from repro.noc.traffic import acg_messages
+from repro.routing.xy import xy_next_hop
+
+NodeId = Hashable
+RoutingFunction = Callable[[NodeId, NodeId], NodeId]
+
+#: traffic modes a scenario can request
+TRAFFIC_ACG = "acg"
+TRAFFIC_AES_PHASES = "aes_phases"
+
+#: bits per AES block (the paper's throughput unit)
+AES_BLOCK_SIZE_BITS = 128
+
+LIBRARIES: dict[str, Callable[[], CommunicationLibrary]] = {
+    "minimal": minimal_library,
+    "default": default_library,
+    "extended": extended_library,
+    "aes": aes_library,
+}
+
+STRATEGIES: dict[str, SearchStrategy] = {
+    "branch_and_bound": SearchStrategy.BRANCH_AND_BOUND,
+    "greedy": SearchStrategy.GREEDY,
+}
+
+
+# ----------------------------------------------------------------------
+# configuration of one grid cell
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """One point of the configuration space (JSON-serializable by design).
+
+    Every field is a plain string/number/bool so a settings instance can be
+    content-hashed for the result cache and shipped to worker processes.
+    """
+
+    architecture: str = "custom"
+    """``"custom"`` (decompose + synthesize) or ``"mesh"`` (XY baseline)."""
+
+    # -- decomposition ---------------------------------------------------
+    strategy: str = "branch_and_bound"
+    library: str = "default"
+    max_matchings_per_primitive: int | None = 3
+    isomorphism_timeout_seconds: float | None = 2.0
+    decomposition_timeout_seconds: float | None = 20.0
+    max_nodes_expanded: int | None = 400
+
+    # -- synthesis -------------------------------------------------------
+    flit_width_bits: int = 32
+    bidirectional_links: bool = False
+    fill_all_pairs_routing: bool = False
+
+    # -- mesh baseline ---------------------------------------------------
+    mesh_tile_pitch_mm: float = 2.0
+
+    # -- simulation ------------------------------------------------------
+    technology: str = "fpga_virtex2"
+    router_pipeline_delay_cycles: int = 1
+    buffer_capacity_packets: int = 4
+    max_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ("custom", "mesh"):
+            raise ConfigurationError(
+                f"unknown architecture {self.architecture!r} (use 'custom' or 'mesh')"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(f"unknown search strategy {self.strategy!r}")
+        if self.library not in LIBRARIES:
+            raise ConfigurationError(
+                f"unknown library {self.library!r}; available: {sorted(LIBRARIES)}"
+            )
+
+    def as_dict(self) -> dict[str, object]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "EvaluationSettings":
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    #: fields a mesh-baseline evaluation never reads
+    _CUSTOM_ONLY_FIELDS = (
+        "strategy",
+        "library",
+        "max_matchings_per_primitive",
+        "isomorphism_timeout_seconds",
+        "decomposition_timeout_seconds",
+        "max_nodes_expanded",
+        "bidirectional_links",
+        "fill_all_pairs_routing",
+    )
+
+    def canonical_dict(self) -> dict[str, object]:
+        """``as_dict`` with architecture-irrelevant knobs normalized out.
+
+        Used for content-hash cache keys: a mesh baseline does not depend on
+        decomposition/synthesis knobs (and a custom architecture does not
+        depend on the mesh tile pitch), so cells differing only in an
+        irrelevant axis share one key — and one evaluation.
+        """
+        payload = self.as_dict()
+        if self.architecture == "mesh":
+            for name in self._CUSTOM_ONLY_FIELDS:
+                payload[name] = None
+        else:
+            payload["mesh_tile_pitch_mm"] = None
+        return payload
+
+    def merged(self, overrides: dict[str, object]) -> "EvaluationSettings":
+        """A copy with the given fields replaced (unknown keys rejected)."""
+        known = {spec.name for spec in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigurationError(f"unknown settings fields: {sorted(unknown)}")
+        return replace(self, **overrides)
+
+    def build_decomposition_config(self) -> DecompositionConfig:
+        return DecompositionConfig(
+            strategy=STRATEGIES[self.strategy],
+            max_matchings_per_primitive=self.max_matchings_per_primitive,
+            isomorphism_timeout_seconds=self.isomorphism_timeout_seconds,
+            total_timeout_seconds=self.decomposition_timeout_seconds,
+            max_nodes_expanded=self.max_nodes_expanded,
+        )
+
+    def build_library(self) -> CommunicationLibrary:
+        return LIBRARIES[self.library]()
+
+    def build_synthesis_options(self) -> SynthesisOptions:
+        return SynthesisOptions(
+            flit_width_bits=self.flit_width_bits,
+            bidirectional_links=self.bidirectional_links,
+            fill_all_pairs_routing=self.fill_all_pairs_routing,
+        )
+
+    def build_simulator_config(self) -> SimulatorConfig:
+        return SimulatorConfig(
+            flit_width_bits=self.flit_width_bits,
+            buffer_capacity_packets=self.buffer_capacity_packets,
+            router_pipeline_delay_cycles=self.router_pipeline_delay_cycles,
+            max_cycles=self.max_cycles,
+        )
+
+    def build_technology(self) -> Technology:
+        return get_technology(self.technology)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """One named workload a sweep evaluates architectures against."""
+
+    name: str
+    acg: ApplicationGraph
+    traffic: str = TRAFFIC_ACG
+    repetitions: int = 1
+    """How many back-to-back batches of ACG traffic are injected."""
+    aes_blocks: int = 1
+    computation_cycles_per_phase: int = 4
+    """Local-computation allowance between AES phases (AES traffic only)."""
+    packet_size_bits: int = 32
+    description: str = ""
+    params: dict[str, object] = field(default_factory=dict)
+    """Generator parameters (sizes, densities, **explicit seeds**): part of
+    the content fingerprint so distinct instances never share a cache key."""
+    settings_overrides: dict[str, object] = field(default_factory=dict)
+    """Per-scenario settings pins applied on top of every grid cell (e.g.
+    the AES scenario pins ``library='aes'`` and full-duplex links)."""
+
+    def __post_init__(self) -> None:
+        if self.traffic not in (TRAFFIC_ACG, TRAFFIC_AES_PHASES):
+            raise ConfigurationError(f"unknown traffic mode {self.traffic!r}")
+        if self.repetitions < 1 or self.aes_blocks < 1:
+            raise ConfigurationError("repetitions and aes_blocks must be at least 1")
+
+    def effective_settings(self, settings: EvaluationSettings) -> EvaluationSettings:
+        if not self.settings_overrides:
+            return settings
+        return settings.merged(self.settings_overrides)
+
+    def fingerprint(self) -> dict[str, object]:
+        """Content identity for cache keys: workload + traffic, not labels."""
+        edges = sorted(
+            (
+                str(source),
+                str(target),
+                float(self.acg.volume(source, target)),
+                float(self.acg.bandwidth(source, target)),
+            )
+            for source, target in self.acg.edges()
+        )
+        positions = {
+            str(node): (self.acg.position(node).x, self.acg.position(node).y)
+            for node in self.acg.nodes()
+            if self.acg.has_position(node)
+        }
+        # the display name is deliberately absent: renaming a scenario must
+        # not invalidate cached results for a content-identical workload
+        # (the runner re-labels shared records with each cell's own name)
+        return {
+            "traffic": self.traffic,
+            "repetitions": self.repetitions,
+            "aes_blocks": self.aes_blocks,
+            "computation_cycles_per_phase": self.computation_cycles_per_phase,
+            "packet_size_bits": self.packet_size_bits,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+            "nodes": sorted(str(node) for node in self.acg.nodes()),
+            "edges": edges,
+            "positions": {key: positions[key] for key in sorted(positions)},
+        }
+
+
+# ----------------------------------------------------------------------
+# measurement substrate (shared with the prototype comparison)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArchitectureMetrics:
+    """Measured figures of merit for one architecture under one workload.
+
+    ``num_blocks`` counts AES blocks for phase traffic and injected ACG
+    batches otherwise, so ``cycles_per_block`` reads as cycles per
+    iteration for generic workloads.
+    """
+
+    name: str
+    num_blocks: int
+    total_cycles: int
+    cycles_per_block: float
+    throughput_mbps: float
+    average_latency_cycles: float
+    average_hops: float
+    average_power_mw: float
+    energy_per_block_uj: float
+    num_physical_links: int
+    max_channel_utilization: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "architecture": self.name,
+            "cycles_per_block": self.cycles_per_block,
+            "throughput_mbps": self.throughput_mbps,
+            "avg_latency_cycles": self.average_latency_cycles,
+            "avg_hops": self.average_hops,
+            "avg_power_mw": self.average_power_mw,
+            "energy_per_block_uj": self.energy_per_block_uj,
+            "physical_links": self.num_physical_links,
+        }
+
+
+def simulate_aes_traffic(
+    name: str,
+    topology: Topology,
+    routing: RoutingFunction,
+    blocks: int,
+    technology: Technology,
+    simulator_config: SimulatorConfig,
+    computation_cycles_per_phase: int = 4,
+) -> ArchitectureMetrics:
+    """Run the dependency-aware distributed-AES phases on one architecture."""
+    if blocks < 1:
+        raise ConfigurationError("the comparison needs at least one block")
+    simulator = NoCSimulator(topology, routing, config=simulator_config, technology=technology)
+    aes = DistributedAES(FIPS197_KEY)
+    plaintext = bytes(range(16))
+    for block_index in range(blocks):
+        block = bytes((byte + block_index) % 256 for byte in plaintext)
+        trace = aes.encrypt_block(block)
+        simulator.run_phases(
+            trace.phases, computation_cycles_per_phase=computation_cycles_per_phase
+        )
+    total_cycles = simulator.statistics.total_cycles
+    cycles_per_block = total_cycles / blocks
+    return ArchitectureMetrics(
+        name=name,
+        num_blocks=blocks,
+        total_cycles=total_cycles,
+        cycles_per_block=cycles_per_block,
+        throughput_mbps=throughput_mbps_from_cycles(
+            AES_BLOCK_SIZE_BITS, cycles_per_block, technology.frequency_mhz
+        ),
+        average_latency_cycles=simulator.statistics.average_latency_cycles(),
+        average_hops=simulator.statistics.average_hops(),
+        average_power_mw=simulator.average_power_mw(),
+        energy_per_block_uj=simulator.energy.total_energy_uj / blocks,
+        num_physical_links=topology.num_physical_links,
+        max_channel_utilization=simulator.statistics.max_channel_utilization(),
+    )
+
+
+def simulate_acg_traffic(
+    name: str,
+    topology: Topology,
+    routing: RoutingFunction,
+    acg: ApplicationGraph,
+    technology: Technology,
+    simulator_config: SimulatorConfig,
+    repetitions: int = 1,
+    packet_size_bits: int = 32,
+) -> ArchitectureMetrics:
+    """Inject the ACG's communication volumes as packet batches and drain.
+
+    Each repetition injects every ACG edge's volume once and runs until the
+    network drains, which models one iteration of the application.
+    """
+    if repetitions < 1:
+        raise ConfigurationError("at least one traffic repetition is required")
+    simulator = NoCSimulator(topology, routing, config=simulator_config, technology=technology)
+    for _ in range(repetitions):
+        simulator.schedule_messages(acg_messages(acg, packet_size_bits=packet_size_bits))
+        simulator.run_until_drained()
+    total_cycles = simulator.statistics.total_cycles
+    return ArchitectureMetrics(
+        name=name,
+        num_blocks=repetitions,
+        total_cycles=total_cycles,
+        cycles_per_block=total_cycles / repetitions,
+        throughput_mbps=simulator.statistics.throughput_mbps(technology.frequency_mhz),
+        average_latency_cycles=simulator.statistics.average_latency_cycles(),
+        average_hops=simulator.statistics.average_hops(),
+        average_power_mw=simulator.average_power_mw(),
+        energy_per_block_uj=simulator.energy.total_energy_uj / repetitions,
+        num_physical_links=topology.num_physical_links,
+        max_channel_utilization=simulator.statistics.max_channel_utilization(),
+    )
+
+
+def build_baseline_mesh(
+    acg: ApplicationGraph, tile_pitch_mm: float = 2.0, flit_width_bits: int = 32
+) -> MeshTopology:
+    """The standard-mesh baseline for an arbitrary scenario.
+
+    The grid is the most-square mesh that fits every ACG core (16 cores ->
+    4x4, 12 -> 3x4); when the core count is not rectangular the spare tiles
+    are padded with traffic-less filler routers so XY routing stays intact.
+    """
+    nodes = list(acg.nodes())
+    if not nodes:
+        raise ConfigurationError("cannot build a mesh baseline for an empty ACG")
+    columns = max(1, math.ceil(math.sqrt(len(nodes))))
+    rows = max(1, math.ceil(len(nodes) / columns))
+    padding = [f"__pad{index}" for index in range(rows * columns - len(nodes))]
+    return build_mesh(
+        rows,
+        columns,
+        tile_pitch_mm=tile_pitch_mm,
+        flit_width_bits=flit_width_bits,
+        node_ids=nodes + padding,
+    )
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+def _simulate_scenario(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    name: str,
+    topology: Topology,
+    routing: RoutingFunction,
+) -> ArchitectureMetrics:
+    technology = settings.build_technology()
+    simulator_config = settings.build_simulator_config()
+    if scenario.traffic == TRAFFIC_AES_PHASES:
+        return simulate_aes_traffic(
+            name,
+            topology,
+            routing,
+            blocks=scenario.aes_blocks,
+            technology=technology,
+            simulator_config=simulator_config,
+            computation_cycles_per_phase=scenario.computation_cycles_per_phase,
+        )
+    return simulate_acg_traffic(
+        name,
+        topology,
+        routing,
+        scenario.acg,
+        technology=technology,
+        simulator_config=simulator_config,
+        repetitions=scenario.repetitions,
+        packet_size_bits=scenario.packet_size_bits,
+    )
+
+
+def _metrics_payload(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, float]:
+    return {
+        "total_cycles": float(metrics.total_cycles),
+        "cycles_per_iteration": metrics.cycles_per_block,
+        "avg_latency_cycles": metrics.average_latency_cycles,
+        "avg_hops": metrics.average_hops,
+        "throughput_mbps": metrics.throughput_mbps,
+        "avg_power_mw": metrics.average_power_mw,
+        "energy_uj": metrics.energy_per_block_uj * metrics.num_blocks,
+        "energy_per_iteration_uj": metrics.energy_per_block_uj,
+        "physical_links": float(metrics.num_physical_links),
+        "max_channel_utilization": metrics.max_channel_utilization,
+        "total_wire_mm": topology.total_wire_length_mm(),
+    }
+
+
+def _synthesize_custom(
+    scenario: Scenario, settings: EvaluationSettings, record: EvaluationRecord
+) -> SynthesizedArchitecture:
+    decomposition = _decompose_scenario(scenario, settings, record)
+    architecture = synthesize_architecture(
+        scenario.acg, decomposition, options=settings.build_synthesis_options()
+    )
+    if architecture.constraint_report is not None:
+        record.constraints_satisfied = architecture.constraint_report.satisfied
+    if architecture.deadlock_report is not None:
+        record.deadlock_free = architecture.deadlock_report.is_deadlock_free
+    return architecture
+
+
+def _decompose_scenario(
+    scenario: Scenario, settings: EvaluationSettings, record: EvaluationRecord
+) -> DecompositionResult:
+    decomposition = decompose(
+        scenario.acg,
+        settings.build_library(),
+        cost_model=LinkCountCostModel(),
+        config=settings.build_decomposition_config(),
+    )
+    record.search_statistics = decomposition.statistics.as_dict()
+    record.metrics.update(
+        {
+            "decomposition_cost": decomposition.total_cost,
+            "num_matchings": float(decomposition.num_matchings),
+            "remainder_edges": float(decomposition.remainder.num_edges),
+            "covered_fraction": decomposition.covered_edge_fraction(),
+        }
+    )
+    return decomposition
+
+
+def evaluate(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    cache_key: str = "",
+    config_label: str = "",
+    axes: dict[str, object] | None = None,
+) -> EvaluationRecord:
+    """Run the full pipeline for one (scenario, configuration) cell.
+
+    Never raises for workload/architecture failures: decomposition,
+    synthesis, routing and simulation errors all come back as record
+    statuses.  Only caller bugs (e.g. an unknown architecture string in a
+    hand-built settings object) surface as exceptions.
+    """
+    settings = scenario.effective_settings(settings)
+    record = EvaluationRecord(
+        scenario=scenario.name,
+        architecture=settings.architecture,
+        config_label=config_label or settings.architecture,
+        cache_key=cache_key,
+        axes=dict(axes or {}),
+        settings=settings.as_dict(),
+    )
+    start = time.perf_counter()
+    try:
+        if settings.architecture == "mesh":
+            mesh = build_baseline_mesh(
+                scenario.acg,
+                tile_pitch_mm=settings.mesh_tile_pitch_mm,
+                flit_width_bits=settings.flit_width_bits,
+            )
+            topology: Topology = mesh
+            routing: RoutingFunction = (
+                lambda current, destination: xy_next_hop(mesh, current, destination)
+            )
+            name = mesh.name
+        else:
+            architecture = _synthesize_custom(scenario, settings, record)
+            topology = architecture.topology
+            routing = architecture.routing_table.next_hop
+            name = architecture.topology.name
+        metrics = _simulate_scenario(scenario, settings, name, topology, routing)
+        record.metrics.update(_metrics_payload(metrics, topology))
+    except DecompositionError as error:
+        record.status = STATUS_DECOMPOSITION_FAILED
+        record.error = str(error)
+    except SynthesisError as error:
+        record.status = STATUS_SYNTHESIS_FAILED
+        record.error = str(error)
+    except RoutingError as error:
+        record.status = STATUS_ROUTING_FAILED
+        record.error = str(error)
+    except SimulationError as error:
+        record.status = STATUS_SIMULATION_FAILED
+        record.error = str(error)
+    # any other ReproError (ConfigurationError, WorkloadError, unknown
+    # technology, ...) is a caller bug, not an exploration outcome: let it
+    # raise rather than poison the result cache with mislabeled failures
+    record.runtime_seconds = time.perf_counter() - start
+    return record

@@ -1,0 +1,96 @@
+"""The unit of DSE output: one (scenario, configuration) evaluation.
+
+Every cell of a design-space sweep — successful or not — produces one
+:class:`EvaluationRecord`.  Failures are captured as data (status +
+error message) rather than exceptions so a batch run over hundreds of
+cells never dies half way, and so "this configuration deadlocks" is a
+reportable result, exactly like "this configuration needs 2.5 uJ per
+iteration".  Records round-trip losslessly through JSON, which is what
+the on-disk JSONL cache stores.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+#: evaluation outcome classes (ordered roughly by how far the pipeline got)
+STATUS_OK = "ok"
+STATUS_DECOMPOSITION_FAILED = "decomposition_failed"
+STATUS_SYNTHESIS_FAILED = "synthesis_failed"
+STATUS_ROUTING_FAILED = "routing_failed"
+STATUS_SIMULATION_FAILED = "simulation_failed"
+
+ALL_STATUSES = (
+    STATUS_OK,
+    STATUS_DECOMPOSITION_FAILED,
+    STATUS_SYNTHESIS_FAILED,
+    STATUS_ROUTING_FAILED,
+    STATUS_SIMULATION_FAILED,
+)
+
+
+@dataclass
+class EvaluationRecord:
+    """Everything one DSE cell produced."""
+
+    scenario: str
+    architecture: str
+    config_label: str
+    cache_key: str = ""
+    status: str = STATUS_OK
+    error: str = ""
+    axes: dict[str, object] = field(default_factory=dict)
+    """The swept parameter values that distinguish this cell in its grid."""
+    settings: dict[str, object] = field(default_factory=dict)
+    """The full effective :class:`~repro.dse.pipeline.EvaluationSettings`."""
+    metrics: dict[str, float] = field(default_factory=dict)
+    """Measured figures of merit (cycles, latency, throughput, energy, ...)."""
+    constraints_satisfied: bool | None = None
+    deadlock_free: bool | None = None
+    search_statistics: dict[str, object] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    from_cache: bool = False
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def succeeded(self) -> bool:
+        return self.status == STATUS_OK
+
+    def metric(self, key: str, default: float | None = None) -> float | None:
+        value = self.metrics.get(key, default)
+        return float(value) if value is not None else None
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into one reporting-table row."""
+        row: dict[str, object] = {
+            "scenario": self.scenario,
+            "arch": self.architecture,
+            "config": self.config_label,
+            "status": self.status,
+        }
+        row.update(self.metrics)
+        if self.constraints_satisfied is not None:
+            row["constraints_ok"] = self.constraints_satisfied
+        if self.deadlock_free is not None:
+            row["deadlock_free"] = self.deadlock_free
+        return row
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the cache's storage format)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload.pop("from_cache", None)  # a load-time annotation, not state
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "EvaluationRecord":
+        known = {name for name in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvaluationRecord":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,209 @@
+"""Batch runner: grid expansion, process-pool fan-out and cache reuse.
+
+A *grid* is a base :class:`EvaluationSettings` plus named axes (field ->
+list of values); its cartesian product crossed with a scenario list
+yields the sweep cells.  The runner resolves every cell against the
+on-disk :class:`~repro.dse.cache.ResultCache` first and only executes
+the misses — optionally fanned out over a process pool, one cell per
+task, reusing the one-payload-per-worker pattern of the Figure-4
+:mod:`~repro.experiments.runtime_sweep` machinery (module-level worker
+function so payloads pickle cleanly).
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.dse.cache import ResultCache, cache_key
+from repro.dse.pipeline import EvaluationSettings, Scenario, evaluate
+from repro.dse.records import EvaluationRecord
+from repro.exceptions import ConfigurationError
+
+
+def axis_label(axes: Mapping[str, object]) -> str:
+    """Compact human-readable cell label: ``arch=mesh,delay=2``."""
+    if not axes:
+        return "base"
+    return ",".join(f"{key}={value}" for key, value in axes.items())
+
+
+def expand_grid(
+    base: EvaluationSettings | None = None,
+    axes: Mapping[str, Sequence[object]] | None = None,
+) -> list[tuple[dict[str, object], EvaluationSettings]]:
+    """Cartesian product of the axes over the base settings.
+
+    Returns ``(axis_values, settings)`` pairs; with no axes the base
+    settings are the single cell.  Axis names must be settings fields.
+    """
+    base = base or EvaluationSettings()
+    axes = dict(axes or {})
+    for name, values in axes.items():
+        if not values:
+            raise ConfigurationError(f"axis {name!r} has no values")
+    if not axes:
+        return [({}, base)]
+    names = list(axes)
+    cells = []
+    for combination in itertools.product(*(axes[name] for name in names)):
+        axis_values = dict(zip(names, combination))
+        cells.append((axis_values, base.merged(axis_values)))
+    return cells
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (scenario, configuration) evaluation unit of a sweep."""
+
+    scenario: Scenario
+    settings: EvaluationSettings
+    axes: dict[str, object]
+    key: str
+
+    @property
+    def label(self) -> str:
+        return axis_label(self.axes)
+
+
+def plan_sweep(
+    scenarios: Sequence[Scenario],
+    base: EvaluationSettings | None = None,
+    axes: Mapping[str, Sequence[object]] | None = None,
+) -> list[SweepCell]:
+    """All cells of scenarios x grid, each with its content-hash key."""
+    if not scenarios:
+        raise ConfigurationError("a sweep needs at least one scenario")
+    cells: list[SweepCell] = []
+    for scenario in scenarios:
+        for axis_values, settings in expand_grid(base, axes):
+            cells.append(
+                SweepCell(
+                    scenario=scenario,
+                    settings=settings,
+                    axes=axis_values,
+                    key=cache_key(scenario, settings),
+                )
+            )
+    return cells
+
+
+@dataclass
+class SweepResult:
+    """Records of one sweep plus cache bookkeeping.
+
+    ``cache_hits``/``cache_misses`` count *cells* against the on-disk cache;
+    ``num_evaluations`` counts the fresh pipeline runs actually executed,
+    which can be lower than ``cache_misses`` when per-scenario pins or
+    canonicalization collapse several cells onto one content key.
+    """
+
+    records: list[EvaluationRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    num_evaluations: int = 0
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        if self.num_cells == 0:
+            return 0.0
+        return self.cache_hits / self.num_cells
+
+    def succeeded(self) -> list[EvaluationRecord]:
+        return [record for record in self.records if record.succeeded]
+
+    def failed(self) -> list[EvaluationRecord]:
+        return [record for record in self.records if not record.succeeded]
+
+    def describe(self) -> str:
+        shared = self.cache_misses - self.num_evaluations
+        sharing = f" ({shared} duplicate cells shared an evaluation)" if shared else ""
+        return (
+            f"{self.num_cells} cells: {self.cache_hits} cached, "
+            f"{self.num_evaluations} evaluated "
+            f"({100.0 * self.cache_hit_fraction:.0f}% cache hits){sharing}; "
+            f"{len(self.failed())} failures"
+        )
+
+
+def _evaluate_cell(
+    payload: tuple[Scenario, EvaluationSettings, dict[str, object], str],
+) -> EvaluationRecord:
+    """Evaluate one cell (module-level so it pickles into worker processes)."""
+    scenario, settings, axes, key = payload
+    return evaluate(
+        scenario,
+        settings,
+        cache_key=key,
+        config_label=axis_label(axes),
+        axes=axes,
+    )
+
+
+def run_sweep(
+    scenarios: Sequence[Scenario],
+    base: EvaluationSettings | None = None,
+    axes: Mapping[str, Sequence[object]] | None = None,
+    cache: ResultCache | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Evaluate every (scenario, grid cell), reusing cached results.
+
+    Records come back in plan order (scenario-major, then grid order)
+    regardless of caching or parallelism, so serial and parallel sweeps are
+    interchangeable.
+    """
+    cells = plan_sweep(scenarios, base, axes)
+    result = SweepResult()
+    fresh: list[SweepCell] = []
+    slots: dict[str, EvaluationRecord | None] = {}
+    for cell in cells:
+        if cell.key in slots:
+            if slots[cell.key] is None:
+                result.cache_misses += 1  # shares the pending evaluation
+            else:
+                result.cache_hits += 1
+            continue  # duplicate cell (per-scenario pins collapsed an axis)
+        slots[cell.key] = cache.get(cell.key) if cache is not None else None
+        if slots[cell.key] is None:
+            result.cache_misses += 1
+            fresh.append(cell)
+        else:
+            result.cache_hits += 1
+    result.num_evaluations = len(fresh)
+
+    payloads = [(cell.scenario, cell.settings, cell.axes, cell.key) for cell in fresh]
+    if parallel and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            evaluated = list(pool.map(_evaluate_cell, payloads))
+    else:
+        evaluated = [_evaluate_cell(payload) for payload in payloads]
+
+    for record in evaluated:
+        slots[record.cache_key] = record
+        if cache is not None:
+            cache.store(record)
+
+    for cell in cells:
+        shared = slots[cell.key]
+        assert shared is not None  # every miss was evaluated above
+        # each cell gets its own view of the (possibly shared) measurement:
+        # the content key identifies the work, but the labels/axes — and the
+        # scenario name, which is deliberately not part of the content hash —
+        # belong to this plan's cell
+        result.records.append(
+            replace(
+                shared,
+                scenario=cell.scenario.name,
+                config_label=cell.label,
+                axes=dict(cell.axes),
+            )
+        )
+    return result

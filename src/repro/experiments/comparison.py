@@ -26,17 +26,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.aes.aes_core import FIPS197_KEY
-from repro.aes.distributed import DistributedAES
 from repro.arch.mesh import build_mesh
-from repro.arch.topology import Topology
 from repro.core.synthesis import SynthesizedArchitecture
+from repro.dse.pipeline import (
+    AES_BLOCK_SIZE_BITS,
+    ArchitectureMetrics,
+    simulate_aes_traffic,
+)
 from repro.energy.technology import FPGA_VIRTEX2, Technology
 from repro.experiments.aes_experiment import AesSynthesisResult, run_aes_synthesis
 from repro.experiments.reporting import format_table, percentage_change
-from repro.exceptions import ConfigurationError
-from repro.noc.simulator import NoCSimulator, SimulatorConfig
-from repro.noc.stats import throughput_mbps_from_cycles
+from repro.noc.simulator import SimulatorConfig
 from repro.routing.xy import xy_next_hop
 
 #: paper-reported reference numbers (Section 5.2)
@@ -55,7 +55,7 @@ PAPER_RESULTS = {
     },
 }
 
-BLOCK_SIZE_BITS = 128
+BLOCK_SIZE_BITS = AES_BLOCK_SIZE_BITS
 
 #: router pipeline depth used for the prototype-style comparison.  The
 #: paper's FPGA routers are multi-stage (buffer write, route computation /
@@ -76,33 +76,15 @@ def default_simulator_config() -> SimulatorConfig:
     return SimulatorConfig(router_pipeline_delay_cycles=DEFAULT_PIPELINE_DELAY_CYCLES)
 
 
-@dataclass(frozen=True)
-class ArchitectureMetrics:
-    """Measured figures of merit for one architecture under AES traffic."""
-
-    name: str
-    num_blocks: int
-    total_cycles: int
-    cycles_per_block: float
-    throughput_mbps: float
-    average_latency_cycles: float
-    average_hops: float
-    average_power_mw: float
-    energy_per_block_uj: float
-    num_physical_links: int
-    max_channel_utilization: float
-
-    def as_dict(self) -> dict[str, object]:
-        return {
-            "architecture": self.name,
-            "cycles_per_block": self.cycles_per_block,
-            "throughput_mbps": self.throughput_mbps,
-            "avg_latency_cycles": self.average_latency_cycles,
-            "avg_hops": self.average_hops,
-            "avg_power_mw": self.average_power_mw,
-            "energy_per_block_uj": self.energy_per_block_uj,
-            "physical_links": self.num_physical_links,
-        }
+__all__ = [
+    "PAPER_RESULTS",
+    "ArchitectureMetrics",
+    "PrototypeComparison",
+    "default_simulator_config",
+    "evaluate_mesh",
+    "evaluate_custom",
+    "run_prototype_comparison",
+]
 
 
 @dataclass
@@ -164,49 +146,9 @@ class PrototypeComparison:
 
 
 # ----------------------------------------------------------------------
-# measurement helpers
+# measurement helpers (the actual simulation lives in repro.dse.pipeline,
+# the shared evaluation pipeline this comparison now runs on)
 # ----------------------------------------------------------------------
-def _simulate_aes(
-    name: str,
-    topology: Topology,
-    routing,
-    blocks: int,
-    technology: Technology,
-    simulator_config: SimulatorConfig,
-    computation_cycles_per_phase: int = DEFAULT_COMPUTATION_CYCLES_PER_PHASE,
-) -> ArchitectureMetrics:
-    if blocks < 1:
-        raise ConfigurationError("the comparison needs at least one block")
-    simulator = NoCSimulator(
-        topology, routing, config=simulator_config, technology=technology
-    )
-    aes = DistributedAES(FIPS197_KEY)
-    plaintext = bytes(range(16))
-    for block_index in range(blocks):
-        block = bytes((byte + block_index) % 256 for byte in plaintext)
-        trace = aes.encrypt_block(block)
-        simulator.run_phases(
-            trace.phases, computation_cycles_per_phase=computation_cycles_per_phase
-        )
-    total_cycles = simulator.statistics.total_cycles
-    cycles_per_block = total_cycles / blocks
-    return ArchitectureMetrics(
-        name=name,
-        num_blocks=blocks,
-        total_cycles=total_cycles,
-        cycles_per_block=cycles_per_block,
-        throughput_mbps=throughput_mbps_from_cycles(
-            BLOCK_SIZE_BITS, cycles_per_block, technology.frequency_mhz
-        ),
-        average_latency_cycles=simulator.statistics.average_latency_cycles(),
-        average_hops=simulator.statistics.average_hops(),
-        average_power_mw=simulator.average_power_mw(),
-        energy_per_block_uj=simulator.energy.total_energy_uj / blocks,
-        num_physical_links=topology.num_physical_links,
-        max_channel_utilization=simulator.statistics.max_channel_utilization(),
-    )
-
-
 def evaluate_mesh(
     blocks: int = 4,
     technology: Technology = FPGA_VIRTEX2,
@@ -217,7 +159,7 @@ def evaluate_mesh(
     """Simulate the 4x4 mesh baseline (XY routing) under AES traffic."""
     mesh = build_mesh(4, 4, tile_pitch_mm=tile_pitch_mm)
     config = simulator_config or default_simulator_config()
-    return _simulate_aes(
+    return simulate_aes_traffic(
         "mesh_4x4",
         mesh,
         lambda current, destination: xy_next_hop(mesh, current, destination),
@@ -238,7 +180,7 @@ def evaluate_custom(
     """Simulate the synthesized customized architecture under AES traffic."""
     table = architecture.routing_table
     config = simulator_config or default_simulator_config()
-    return _simulate_aes(
+    return simulate_aes_traffic(
         architecture.topology.name,
         architecture.topology,
         table.next_hop,

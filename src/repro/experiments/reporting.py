@@ -13,17 +13,35 @@ from io import StringIO
 from pathlib import Path
 
 
+def _union_columns(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    """Every key that appears in any row, in first-appearance order.
+
+    Heterogeneous rows (e.g. mesh vs. custom evaluation records, where only
+    one carries decomposition statistics) must not silently lose the columns
+    absent from the first row.
+    """
+    columns: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    return list(columns)
+
+
 def format_table(
     rows: Sequence[Mapping[str, object]],
     columns: Sequence[str] | None = None,
     float_format: str = "{:.3f}",
     title: str | None = None,
 ) -> str:
-    """Render a list of dict rows as an aligned text table."""
+    """Render a list of dict rows as an aligned text table.
+
+    Columns default to the union of all rows' keys (missing values render
+    blank), so rows with different key sets tabulate cleanly.
+    """
     if not rows:
         return title or "(empty table)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = _union_columns(rows)
 
     def render(value: object) -> str:
         if isinstance(value, float):
@@ -65,10 +83,14 @@ def improvement_factor(baseline: float, value: float) -> float:
 
 
 def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path | None = None) -> str:
-    """Serialize rows as CSV; optionally also write them to ``path``."""
+    """Serialize rows as CSV; optionally also write them to ``path``.
+
+    Like :func:`format_table`, the header is the union of all rows' keys so
+    heterogeneous rows neither crash the writer nor drop columns.
+    """
     if not rows:
         return ""
-    columns = list(rows[0].keys())
+    columns = _union_columns(rows)
     buffer = StringIO()
     writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
     writer.writeheader()

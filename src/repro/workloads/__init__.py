@@ -1,11 +1,21 @@
 """Workload generators: TGFF-like task graphs, Pajek-like random graphs,
-curated example ACGs and conversion helpers."""
+published embedded-benchmark ACGs, curated example ACGs and conversion
+helpers."""
 
 from repro.workloads.acg_builder import (
     acg_from_task_graph,
     acg_from_traffic_table,
     attach_grid_floorplan,
     set_uniform_bandwidth,
+)
+from repro.workloads.benchmarks import (
+    embedded_benchmark_acg,
+    embedded_benchmark_names,
+    embedded_benchmark_suite,
+    h263enc_mp3dec_acg,
+    mpeg4_decoder_acg,
+    mwd_acg,
+    vopd_acg,
 )
 from repro.workloads.pajek import (
     erdos_renyi_acg,
@@ -15,9 +25,12 @@ from repro.workloads.pajek import (
     write_pajek,
 )
 from repro.workloads.random_acg import (
+    degree_sequence_acg,
     figure2_example_graph,
     figure5_example_acg,
+    power_law_out_degrees,
     random_decomposable_acg,
+    scale_free_acg,
 )
 from repro.workloads.tgff import (
     TaskGraph,
@@ -41,6 +54,16 @@ __all__ = [
     "figure5_example_acg",
     "figure2_example_graph",
     "random_decomposable_acg",
+    "degree_sequence_acg",
+    "power_law_out_degrees",
+    "scale_free_acg",
+    "embedded_benchmark_acg",
+    "embedded_benchmark_names",
+    "embedded_benchmark_suite",
+    "mpeg4_decoder_acg",
+    "vopd_acg",
+    "mwd_acg",
+    "h263enc_mp3dec_acg",
     "acg_from_task_graph",
     "acg_from_traffic_table",
     "attach_grid_floorplan",

@@ -1,0 +1,175 @@
+"""Tests for Pareto extraction, baseline normalization and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.analysis import (
+    custom_dominates_mesh,
+    dominates,
+    mesh_baseline_for,
+    normalize_to_mesh,
+    pareto_front,
+    pareto_report,
+)
+from repro.dse.records import EvaluationRecord
+from repro.dse.__main__ import main
+
+
+def _record(
+    scenario: str,
+    arch: str,
+    latency: float,
+    energy: float,
+    throughput: float,
+    status: str = "ok",
+    axes: dict | None = None,
+    key: str = "",
+) -> EvaluationRecord:
+    return EvaluationRecord(
+        scenario=scenario,
+        architecture=arch,
+        config_label=f"arch={arch}",
+        cache_key=key or f"{scenario}/{arch}/{latency}/{energy}/{throughput}",
+        status=status,
+        axes=axes if axes is not None else {"architecture": arch},
+        metrics={
+            "avg_latency_cycles": latency,
+            "energy_per_iteration_uj": energy,
+            "throughput_mbps": throughput,
+        },
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        better = _record("s", "custom", latency=5, energy=1.0, throughput=60)
+        worse = _record("s", "mesh", latency=10, energy=2.0, throughput=45)
+        assert dominates(better, worse)
+        assert not dominates(worse, better)
+
+    def test_tie_does_not_dominate(self):
+        a = _record("s", "custom", latency=5, energy=1.0, throughput=60)
+        b = _record("s", "mesh", latency=5, energy=1.0, throughput=60)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_trade_off_does_not_dominate(self):
+        fast = _record("s", "a", latency=5, energy=3.0, throughput=60)
+        frugal = _record("s", "b", latency=10, energy=1.0, throughput=45)
+        assert not dominates(fast, frugal)
+        assert not dominates(frugal, fast)
+
+    def test_missing_metric_never_dominates(self):
+        complete = _record("s", "a", latency=5, energy=1.0, throughput=60)
+        partial = EvaluationRecord(scenario="s", architecture="b", config_label="b")
+        assert not dominates(complete, partial)
+        assert not dominates(partial, complete)
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated_and_failed(self):
+        winner = _record("s", "custom", latency=5, energy=1.0, throughput=60)
+        dominated = _record("s", "mesh", latency=10, energy=2.0, throughput=45)
+        trade_off = _record("s", "mesh2", latency=4, energy=2.5, throughput=50)
+        failed = _record(
+            "s", "broken", latency=1, energy=0.1, throughput=999, status="simulation_failed"
+        )
+        front = pareto_front([winner, dominated, trade_off, failed])
+        assert winner in front
+        assert trade_off in front
+        assert dominated not in front
+        assert failed not in front
+
+
+class TestBaselineNormalization:
+    def test_matching_axes_preferred(self):
+        mesh_d1 = _record("s", "mesh", 10, 2.0, 40,
+                          axes={"architecture": "mesh", "delay": 1})
+        mesh_d2 = _record("s", "mesh", 12, 2.2, 38,
+                          axes={"architecture": "mesh", "delay": 2})
+        custom_d2 = _record("s", "custom", 6, 1.0, 55,
+                            axes={"architecture": "custom", "delay": 2})
+        records = [mesh_d1, mesh_d2, custom_d2]
+        assert mesh_baseline_for(custom_d2, records) is mesh_d2
+        rows = normalize_to_mesh(records)
+        custom_row = rows[2]
+        assert custom_row["avg_latency_cycles_vs_mesh"] == pytest.approx(6 / 12)
+        assert custom_row["throughput_mbps_vs_mesh"] == pytest.approx(55 / 38)
+
+    def test_no_baseline_when_mesh_relevant_axis_differs(self):
+        # the only mesh cell runs a different pipeline depth: comparing
+        # against it would be misleading, so there is no baseline at all
+        mesh_d1 = _record("s", "mesh", 10, 2.0, 40,
+                          axes={"architecture": "mesh", "router_pipeline_delay_cycles": 1})
+        custom_d3 = _record("s", "custom", 6, 1.0, 55,
+                            axes={"architecture": "custom", "router_pipeline_delay_cycles": 3})
+        records = [mesh_d1, custom_d3]
+        assert mesh_baseline_for(custom_d3, records) is None
+        assert "avg_latency_cycles_vs_mesh" not in normalize_to_mesh(records)[1]
+
+    def test_custom_only_axis_mismatch_still_finds_baseline(self):
+        # the mesh ignores the library axis, so the single mesh cell is a
+        # valid baseline for every library variant of the custom architecture
+        mesh = _record("s", "mesh", 10, 2.0, 40,
+                       axes={"architecture": "mesh", "library": "default"})
+        custom = _record("s", "custom", 6, 1.0, 55,
+                         axes={"architecture": "custom", "library": "extended"})
+        assert mesh_baseline_for(custom, [mesh, custom]) is mesh
+
+    def test_dominance_verdict(self):
+        mesh = _record("s", "mesh", 10, 2.0, 40)
+        winning_custom = _record("s", "custom", 5, 1.0, 60)
+        records = [mesh, winning_custom]
+        assert custom_dominates_mesh(records, "s")
+        assert not custom_dominates_mesh(records, "unknown")
+        # a custom that trades latency for energy does not dominate
+        trading = [mesh, _record("s", "custom", 15, 1.0, 60)]
+        assert not custom_dominates_mesh(trading, "s")
+
+    def test_report_renders_all_scenarios(self):
+        records = [
+            _record("alpha", "mesh", 10, 2.0, 40),
+            _record("alpha", "custom", 5, 1.0, 60),
+            _record("beta", "mesh", 8, 1.5, 50),
+        ]
+        text = pareto_report(records)
+        assert "scenario: alpha" in text
+        assert "scenario: beta" in text
+        assert "custom Pareto-dominates the mesh baseline" in text
+        assert "*" in text
+        assert pareto_report([]) == "(no records)"
+
+
+class TestCommandLine:
+    def test_run_report_and_cache_hits(self, tmp_path, capsys):
+        results = tmp_path / "results.jsonl"
+        args = ["run", "--suite", "smoke", "--results", str(results)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "12 cells: 0 cached, 12 evaluated" in first
+        assert results.exists()
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "12 cached, 0 evaluated (100% cache hits)" in second
+
+        assert main(["report", "--results", str(results), "--suite", "smoke"]) == 0
+        report = capsys.readouterr().out
+        assert "scenario: aes" in report
+        assert "custom Pareto-dominates the mesh baseline" in report
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        assert "smoke" in capsys.readouterr().out
+        assert main(["list-scenarios", "--suite", "embedded"]) == 0
+        out = capsys.readouterr().out
+        assert "vopd" in out and "mpeg4" in out
+
+    def test_report_without_results_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nothing.jsonl"
+        assert main(["report", "--results", str(missing)]) == 1
+        assert "no records" in capsys.readouterr().out
+
+    def test_unknown_suite_is_an_error(self, tmp_path, capsys):
+        assert main(["run", "--suite", "bogus", "--results", str(tmp_path / "r.jsonl")]) == 2

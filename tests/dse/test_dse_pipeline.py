@@ -1,0 +1,157 @@
+"""Tests for the shared evaluation pipeline (repro.dse.pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.pipeline import (
+    EvaluationSettings,
+    Scenario,
+    build_baseline_mesh,
+    evaluate,
+)
+from repro.dse.records import STATUS_OK, STATUS_SIMULATION_FAILED, EvaluationRecord
+from repro.dse.scenarios import (
+    aes_scenario,
+    embedded_scenario,
+    planted_scenario,
+    tgff_scenario,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestEvaluationSettings:
+    def test_dict_round_trip(self):
+        settings = EvaluationSettings(architecture="mesh", router_pipeline_delay_cycles=3)
+        assert EvaluationSettings.from_dict(settings.as_dict()) == settings
+
+    def test_merged_overrides_and_rejects_unknown(self):
+        settings = EvaluationSettings()
+        merged = settings.merged({"library": "aes", "flit_width_bits": 64})
+        assert merged.library == "aes"
+        assert merged.flit_width_bits == 64
+        assert settings.library == "default"  # original untouched
+        with pytest.raises(ConfigurationError):
+            settings.merged({"not_a_field": 1})
+
+    def test_invalid_enums_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationSettings(architecture="torus")
+        with pytest.raises(ConfigurationError):
+            EvaluationSettings(strategy="simulated_annealing")
+        with pytest.raises(ConfigurationError):
+            EvaluationSettings(library="imaginary")
+
+    def test_canonical_dict_normalizes_irrelevant_axes(self):
+        mesh_a = EvaluationSettings(architecture="mesh", library="aes")
+        mesh_b = EvaluationSettings(architecture="mesh", library="extended")
+        assert mesh_a.canonical_dict() == mesh_b.canonical_dict()
+        custom_a = EvaluationSettings(architecture="custom", mesh_tile_pitch_mm=1.0)
+        custom_b = EvaluationSettings(architecture="custom", mesh_tile_pitch_mm=3.0)
+        assert custom_a.canonical_dict() == custom_b.canonical_dict()
+        assert custom_a.canonical_dict() != mesh_a.canonical_dict()
+
+
+class TestScenario:
+    def test_fingerprint_is_deterministic_across_builds(self):
+        first = planted_scenario(num_nodes=12, seed=11).fingerprint()
+        second = planted_scenario(num_nodes=12, seed=11).fingerprint()
+        assert first == second
+
+    def test_fingerprint_depends_on_seed_and_volumes(self):
+        base = planted_scenario(num_nodes=12, seed=11).fingerprint()
+        other_seed = planted_scenario(num_nodes=12, seed=12).fingerprint()
+        assert base != other_seed
+
+    def test_fingerprint_excludes_the_display_name(self):
+        scenario = planted_scenario(num_nodes=12, seed=11)
+        renamed = planted_scenario(num_nodes=12, seed=11)
+        renamed.name = "some_other_label"
+        assert scenario.fingerprint() == renamed.fingerprint()
+
+    def test_settings_overrides_pin_cells(self):
+        scenario = aes_scenario()
+        settings = scenario.effective_settings(EvaluationSettings())
+        assert settings.library == "aes"
+        assert settings.bidirectional_links is True
+
+    def test_invalid_traffic_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", acg=planted_scenario(12, 1).acg, traffic="gravity")
+
+
+class TestBaselineMesh:
+    def test_square_count_gets_exact_grid(self):
+        mesh = build_baseline_mesh(aes_scenario().acg)
+        assert mesh.rows == 4 and mesh.columns == 4
+        assert mesh.num_routers == 16
+
+    def test_non_square_count_is_padded(self):
+        scenario = tgff_scenario(num_tasks=10, seed=7)
+        mesh = build_baseline_mesh(scenario.acg)
+        assert mesh.num_routers == mesh.rows * mesh.columns >= 10
+        pads = [node for node in mesh.routers() if str(node).startswith("__pad")]
+        assert len(pads) == mesh.num_routers - 10
+
+
+class TestEvaluate:
+    def test_mesh_and_custom_records(self):
+        scenario = planted_scenario(num_nodes=12, seed=11)
+        mesh = evaluate(scenario, EvaluationSettings(architecture="mesh"))
+        custom = evaluate(scenario, EvaluationSettings(architecture="custom"))
+        for record in (mesh, custom):
+            assert record.status == STATUS_OK
+            assert record.metrics["total_cycles"] > 0
+            assert record.metrics["avg_latency_cycles"] > 0
+            assert record.metrics["energy_per_iteration_uj"] > 0
+            assert record.metrics["throughput_mbps"] > 0
+        # only the custom flow decomposes and checks constraints/deadlock
+        assert "decomposition_cost" in custom.metrics
+        assert "decomposition_cost" not in mesh.metrics
+        assert custom.deadlock_free is not None
+        assert mesh.deadlock_free is None
+        assert custom.search_statistics.get("nodes_expanded", 0) > 0
+
+    def test_aes_phase_traffic(self):
+        record = evaluate(
+            aes_scenario(),
+            EvaluationSettings(architecture="custom", router_pipeline_delay_cycles=2),
+        )
+        assert record.status == STATUS_OK
+        # the paper's decomposition: cost 28, 6 matchings, 4 remainder edges
+        assert record.metrics["decomposition_cost"] == pytest.approx(28.0)
+        assert record.metrics["num_matchings"] == 6
+        assert record.metrics["remainder_edges"] == 4
+
+    def test_failure_becomes_data_not_exception(self):
+        scenario = embedded_scenario("vopd")
+        # a one-cycle budget cannot drain any traffic: simulation must fail
+        record = evaluate(
+            scenario, EvaluationSettings(architecture="mesh", max_cycles=1)
+        )
+        assert record.status == STATUS_SIMULATION_FAILED
+        assert record.error
+        assert not record.succeeded
+
+    def test_caller_bugs_still_raise(self):
+        """Workload failures are data; misconfiguration is an exception —
+        a typo'd technology must not be cached as a simulation failure."""
+        from repro.exceptions import EnergyModelError
+
+        scenario = embedded_scenario("vopd")
+        with pytest.raises(EnergyModelError):
+            evaluate(scenario, EvaluationSettings(architecture="mesh", technology="bogus"))
+
+    def test_record_json_round_trip(self):
+        record = evaluate(
+            planted_scenario(num_nodes=12, seed=11),
+            EvaluationSettings(architecture="mesh"),
+            cache_key="abc123",
+            config_label="arch=mesh",
+            axes={"architecture": "mesh"},
+        )
+        clone = EvaluationRecord.from_json(record.to_json())
+        assert clone.scenario == record.scenario
+        assert clone.metrics == record.metrics
+        assert clone.cache_key == "abc123"
+        assert clone.axes == {"architecture": "mesh"}

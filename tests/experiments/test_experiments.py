@@ -38,6 +38,21 @@ class TestReportingHelpers:
     def test_format_table_empty(self):
         assert format_table([], title="nothing") == "nothing"
 
+    def test_format_table_unions_heterogeneous_rows(self):
+        """Columns come from all rows, not just rows[0] (mesh records lack the
+        decomposition columns that custom records carry)."""
+        rows = [{"a": 1}, {"a": 2, "b": "late"}, {"c": 3.5}]
+        text = format_table(rows)
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header and "c" in header
+        assert "late" in text and "3.500" in text
+
+    def test_rows_to_csv_unions_heterogeneous_rows(self):
+        rows = [{"x": 1}, {"x": 2, "y": "extra"}]
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0] == "x,y"
+        assert "extra" in text
+
     def test_percentage_change_and_factor(self):
         assert percentage_change(100, 136) == pytest.approx(36.0)
         assert percentage_change(5.1, 2.5) == pytest.approx(-50.98, abs=0.01)
