@@ -7,8 +7,10 @@ caches every evaluated cell in a content-hash-keyed JSONL file, and prints
 the Pareto report: which cells are non-dominated on energy / latency /
 throughput and how each compares to the standard-mesh baseline.
 
-Run it twice to see the cache at work — the second invocation evaluates
-nothing and still reproduces the full report.
+Run it twice to see the caches at work — the second invocation evaluates
+nothing and still reproduces the full report, and cells differing only in
+simulator axes share one decomposition through the stage-artifact store
+(see docs/dse.md).
 
 Run with:  python examples/batch_exploration.py [--parallel]
 """
@@ -18,7 +20,13 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.dse import ResultCache, get_suite, pareto_report, run_sweep
+from repro.dse import (
+    ResultCache,
+    StageArtifactStore,
+    get_suite,
+    pareto_report,
+    run_sweep,
+)
 
 
 def main() -> None:
@@ -29,7 +37,7 @@ def main() -> None:
                         default=Path("dse_results") / "results.jsonl",
                         help="JSONL result cache")
     parser.add_argument("--parallel", action="store_true",
-                        help="fan cells out over a process pool")
+                        help="fan decomposition-sharing groups over a process pool")
     arguments = parser.parse_args()
 
     spec = get_suite(arguments.suite)
@@ -41,6 +49,7 @@ def main() -> None:
         axes=spec.default_axes,
         cache=cache,
         parallel=arguments.parallel,
+        artifacts=StageArtifactStore(arguments.results.parent / "stage_artifacts"),
     )
     print(f"suite {spec.name!r}: {len(scenarios)} scenarios — {result.describe()}")
     print()

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Documentation checks: resolve relative links, run smoke-tested examples.
+
+Two modes, combinable:
+
+``--links`` (default when no mode is given)
+    Scan the curated Markdown files (``README.md`` + ``docs/``; the
+    generated ``PAPERS.md``/``SNIPPETS.md`` dumps are excluded) for
+    relative links/images and fail if a target file does not exist.
+    External (``http``/``https``/``mailto``) links are not fetched.
+
+``--examples``
+    Extract every fenced ``bash`` block that is immediately preceded by a
+    ``<!-- smoke-tested: docs-ci -->`` marker and execute it with
+    ``bash -euo pipefail`` from the repository root (a temp HOME-less
+    environment is not needed: the blocks only write into the working
+    directory given by ``--workdir``).  This keeps the worked examples in
+    ``docs/dse.md`` from rotting.
+
+Exit status: 0 when everything passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+MARKER = "<!-- smoke-tested: docs-ci -->"
+#: markdown inline links/images: [text](target) / ![alt](target)
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> list[Path]:
+    """The curated docs: ``README.md`` plus everything under ``docs/``."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links() -> list[str]:
+    """All broken relative link targets, as ``file: target`` strings."""
+    problems: list[str] = []
+    for markdown in markdown_files():
+        text = markdown.read_text(encoding="utf-8")
+        for match in LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (markdown.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{markdown.relative_to(REPO_ROOT)}: {target}")
+    return problems
+
+
+def smoke_tested_blocks(markdown: Path) -> list[str]:
+    """The ``bash`` blocks tagged with the smoke-tested marker, in order."""
+    blocks: list[str] = []
+    lines = markdown.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        if line.strip() != MARKER:
+            continue
+        cursor = index + 1
+        while cursor < len(lines) and not lines[cursor].strip():
+            cursor += 1
+        if cursor >= len(lines) or not lines[cursor].strip().startswith("```bash"):
+            continue
+        cursor += 1
+        body: list[str] = []
+        while cursor < len(lines) and lines[cursor].strip() != "```":
+            body.append(lines[cursor])
+            cursor += 1
+        blocks.append("\n".join(body))
+    return blocks
+
+
+def run_examples(workdir: Path) -> list[str]:
+    """Execute every smoke-tested block; returns failure descriptions."""
+    failures: list[str] = []
+    environment = dict(os.environ)
+    # the blocks run from ``workdir``, so resolve any relative PYTHONPATH
+    # entries (e.g. CI's ``PYTHONPATH=src``) against the repository root
+    entries = [
+        entry if os.path.isabs(entry) else str((REPO_ROOT / entry).resolve())
+        for entry in environment.get("PYTHONPATH", "").split(os.pathsep)
+        if entry
+    ]
+    if not entries:
+        entries = [str(REPO_ROOT / "src")]
+    environment["PYTHONPATH"] = os.pathsep.join(entries)
+    for markdown in markdown_files():
+        for number, block in enumerate(smoke_tested_blocks(markdown), start=1):
+            label = f"{markdown.relative_to(REPO_ROOT)} block {number}"
+            print(f"== running {label} ==")
+            completed = subprocess.run(
+                ["bash", "-euo", "pipefail", "-c", block],
+                cwd=workdir,
+                env=environment,
+            )
+            if completed.returncode != 0:
+                failures.append(f"{label} exited with {completed.returncode}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected documentation checks."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true",
+                        help="check that relative markdown links resolve")
+    parser.add_argument("--examples", action="store_true",
+                        help="run the smoke-tested bash blocks of the docs")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="directory the example blocks run in "
+                             "(default: a fresh temporary directory)")
+    arguments = parser.parse_args(argv)
+    if not arguments.links and not arguments.examples:
+        arguments.links = True
+
+    status = 0
+    if arguments.links:
+        broken = check_links()
+        if broken:
+            print("broken relative links:")
+            for problem in broken:
+                print(f"  {problem}")
+            status = 1
+        else:
+            print(f"links OK across {len(markdown_files())} markdown files")
+    if arguments.examples:
+        if arguments.workdir is not None:
+            arguments.workdir.mkdir(parents=True, exist_ok=True)
+            failures = run_examples(arguments.workdir)
+        else:
+            with tempfile.TemporaryDirectory() as temporary:
+                failures = run_examples(Path(temporary))
+        if failures:
+            print("example failures:")
+            for failure in failures:
+                print(f"  {failure}")
+            status = 1
+        else:
+            print("worked examples OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

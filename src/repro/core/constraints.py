@@ -66,12 +66,14 @@ class ConstraintReport:
     max_router_degree: int = 0
 
     def raise_if_violated(self) -> None:
+        """Raise :class:`ConstraintViolationError` unless every constraint holds."""
         if not self.satisfied:
             raise ConstraintViolationError(
                 f"{len(self.violations)} design constraint(s) violated", self.violations
             )
 
     def describe(self) -> str:
+        """One-line pass/fail summary listing any violations."""
         if self.satisfied:
             return "all design constraints satisfied"
         return "constraint violations:\n" + "\n".join(f"  - {v}" for v in self.violations)
@@ -120,6 +122,7 @@ class ConstraintChecker:
         table: RoutingTable,
         acg: ApplicationGraph,
     ) -> ConstraintReport:
+        """Evaluate every design constraint of Section 4.2 on one architecture."""
         violations: list[str] = []
         loads: dict[ChannelKey, float] = {}
 

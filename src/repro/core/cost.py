@@ -119,6 +119,7 @@ class UnitCostModel(CostModel):
     use_volumes: bool = True
 
     def route_cost(self, acg: ApplicationGraph, edge: Edge, route: tuple[Node, ...]) -> float:
+        """Volume-weighted hop count of one routed ACG edge."""
         hops = max(len(route) - 1, 1)
         volume = acg.volume(*edge) if (self.use_volumes and acg.has_edge(*edge)) else 1.0
         if not self.use_volumes:
@@ -156,19 +157,23 @@ class LinkCountCostModel(CostModel):
 
     def route_cost(self, acg: ApplicationGraph, edge: Edge, route: tuple[Node, ...]) -> float:
         # Per-edge route cost is unused by this model; see matching_cost.
+        """Constant 1.0: this model charges links, not routes."""
         del acg, edge, route
         return 1.0
 
     def matching_cost(self, matching: Matching, acg: ApplicationGraph) -> float:
+        """Physical links instantiated by the matching's implementation graph."""
         del acg
         return float(matching.primitive.num_physical_links)
 
     def remainder_cost(self, remainder: RemainderGraph | DiGraph, acg: ApplicationGraph) -> float:
+        """One dedicated link per remainder edge (times the penalty)."""
         del acg
         graph = remainder.graph if isinstance(remainder, RemainderGraph) else remainder
         return self.remainder_penalty * graph.num_edges
 
     def lower_bound(self, residual: DiGraph, acg: ApplicationGraph) -> float:
+        """Admissible lower bound on the links still needed for the residual."""
         del acg
         total = 0.0
         for source, target in residual.edges():
@@ -201,6 +206,7 @@ class EnergyCostModel(CostModel):
         return self.fallback_link_length_mm
 
     def route_cost(self, acg: ApplicationGraph, edge: Edge, route: tuple[Node, ...]) -> float:
+        """Volume x wire-length of one routed ACG edge (energy-proportional)."""
         if len(route) < 2:
             route = edge
         lengths = [

@@ -129,6 +129,7 @@ class SearchStatistics:
     truncated: bool = False
 
     def as_dict(self) -> dict[str, float | int | bool]:
+        """Plain-dict view of all counters (what evaluation records store)."""
         return {
             "nodes_expanded": self.nodes_expanded,
             "matchings_tried": self.matchings_tried,
@@ -167,6 +168,7 @@ class DecompositionResult:
     # ------------------------------------------------------------------
     @property
     def num_matchings(self) -> int:
+        """How many primitive instances the decomposition uses."""
         return len(self.matchings)
 
     @property
@@ -182,6 +184,7 @@ class DecompositionResult:
         return counts
 
     def covered_edge_fraction(self) -> float:
+        """Fraction of ACG edges absorbed by primitives (1.0 = full cover)."""
         total = self.acg.num_edges
         if total == 0:
             return 1.0
@@ -208,6 +211,7 @@ class DecompositionResult:
     # reporting (paper's Section-5 listing format)
     # ------------------------------------------------------------------
     def describe(self, include_cost: bool = True) -> str:
+        """Multi-line listing in the paper's Section-5 output format."""
         lines: list[str] = []
         if include_cost:
             lines.append(f"COST: {self.total_cost:g}")
@@ -236,9 +240,11 @@ class _Budget:
         self.exhausted = False
 
     def elapsed(self) -> float:
+        """Seconds since the search started."""
         return time.monotonic() - self.start
 
     def out_of_time(self) -> bool:
+        """True (and latched) once the wall-clock budget is exhausted."""
         if self.config.total_timeout_seconds is None:
             return False
         if self.elapsed() > self.config.total_timeout_seconds:
@@ -246,6 +252,7 @@ class _Budget:
         return self.exhausted
 
     def out_of_leaves(self) -> bool:
+        """True (and latched) once the leaf budget is exhausted."""
         if self.config.max_leaves is None:
             return False
         if self.leaves >= self.config.max_leaves:
@@ -253,6 +260,7 @@ class _Budget:
         return self.exhausted
 
     def out_of_nodes(self, nodes_expanded: int) -> bool:
+        """True (and latched) once the node-expansion budget is exhausted."""
         if self.config.max_nodes_expanded is None:
             return False
         if nodes_expanded >= self.config.max_nodes_expanded:
@@ -371,6 +379,7 @@ class Decomposer:
         return result
 
     def decompose(self, acg: ApplicationGraph) -> DecompositionResult:  # pragma: no cover
+        """Cover ``acg`` with library primitives (engine-specific)."""
         raise NotImplementedError
 
 
@@ -378,6 +387,7 @@ class GreedyDecomposer(Decomposer):
     """First-fit decomposition: largest primitive first, no backtracking."""
 
     def decompose(self, acg: ApplicationGraph) -> DecompositionResult:
+        """Cover ``acg`` greedily: largest primitive first, no backtracking."""
         cost_model = self._resolve_cost_model(acg)
         statistics = SearchStatistics()
         start = time.monotonic()
@@ -424,6 +434,7 @@ class BranchAndBoundDecomposer(Decomposer):
     """
 
     def decompose(self, acg: ApplicationGraph) -> DecompositionResult:
+        """Search for the minimum-cost cover of ``acg`` (Figure 3)."""
         cost_model = self._resolve_cost_model(acg)
         statistics = SearchStatistics()
         budget = _Budget(self.config)
@@ -579,6 +590,7 @@ class BranchAndBoundDecomposer(Decomposer):
             inherited: dict[int, tuple[list[Matching], bool]] | None,
             dead: frozenset[int],
         ) -> None:
+            """Expand one search node: branch on every surviving candidate."""
             if (
                 budget.out_of_time()
                 or budget.out_of_leaves()

@@ -143,6 +143,7 @@ class DiGraph:
         del self._in_degree[node]
 
     def has_node(self, node: Node) -> bool:
+        """True when ``node`` is in the graph."""
         return node in self._succ
 
     def nodes(self) -> list[Node]:
@@ -150,12 +151,14 @@ class DiGraph:
         return list(self._succ)
 
     def node_attributes(self, node: Node) -> dict[str, Any]:
+        """The mutable attribute dict of ``node``."""
         if node not in self._node_attrs:
             raise NodeNotFoundError(node)
         return self._node_attrs[node]
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes (O(1))."""
         return len(self._succ)
 
     # ------------------------------------------------------------------
@@ -187,6 +190,7 @@ class DiGraph:
         self._edge_fingerprint ^= hash((source, target))
 
     def remove_edge(self, source: Node, target: Node) -> None:
+        """Delete one directed edge (the endpoints stay)."""
         if not self.has_edge(source, target):
             raise EdgeNotFoundError(source, target)
         del self._succ[source][target]
@@ -197,9 +201,11 @@ class DiGraph:
         self._edge_fingerprint ^= hash((source, target))
 
     def has_edge(self, source: Node, target: Node) -> bool:
+        """True when the directed edge ``source -> target`` exists."""
         return source in self._succ and target in self._succ[source]
 
     def edge_attributes(self, source: Node, target: Node) -> dict[str, Any]:
+        """The mutable attribute dict of one directed edge."""
         if not self.has_edge(source, target):
             raise EdgeNotFoundError(source, target)
         return self._succ[source][target]
@@ -217,6 +223,7 @@ class DiGraph:
 
     @property
     def num_edges(self) -> int:
+        """Number of directed edges (O(1), maintained incrementally)."""
         return self._num_edges
 
     def edge_signature(self) -> tuple[int, int]:
@@ -234,11 +241,13 @@ class DiGraph:
     # adjacency / degrees
     # ------------------------------------------------------------------
     def successors(self, node: Node) -> list[Node]:
+        """Nodes reachable from ``node`` over one outgoing edge."""
         if node not in self._succ:
             raise NodeNotFoundError(node)
         return list(self._succ[node])
 
     def predecessors(self, node: Node) -> list[Node]:
+        """Nodes with an edge into ``node``."""
         if node not in self._pred:
             raise NodeNotFoundError(node)
         return list(self._pred[node])
@@ -269,18 +278,21 @@ class DiGraph:
         return self._pred[node]
 
     def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node`` (O(1))."""
         try:
             return self._out_degree[node]
         except KeyError:
             raise NodeNotFoundError(node) from None
 
     def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node`` (O(1))."""
         try:
             return self._in_degree[node]
         except KeyError:
             raise NodeNotFoundError(node) from None
 
     def degree(self, node: Node) -> int:
+        """Total degree: in-degree plus out-degree (O(1))."""
         return self.in_degree(node) + self.out_degree(node)
 
     # ------------------------------------------------------------------
@@ -395,6 +407,7 @@ class DiGraph:
         return components
 
     def is_weakly_connected(self) -> bool:
+        """True when the undirected projection is connected (empty counts)."""
         if self.num_nodes == 0:
             return True
         return len(self.weakly_connected_components()) == 1
@@ -435,6 +448,7 @@ class DiGraph:
         return None
 
     def is_acyclic(self) -> bool:
+        """True when the graph has no directed cycle."""
         return self.find_cycle() is None
 
     # ------------------------------------------------------------------
@@ -472,9 +486,11 @@ class CorePosition:
     y: float
 
     def manhattan_distance(self, other: "CorePosition") -> float:
+        """L1 distance to ``other``."""
         return abs(self.x - other.x) + abs(self.y - other.y)
 
     def euclidean_distance(self, other: "CorePosition") -> float:
+        """L2 distance to ``other``."""
         return ((self.x - other.x) ** 2 + (self.y - other.y) ** 2) ** 0.5
 
 
@@ -544,22 +560,27 @@ class ApplicationGraph(DiGraph):
         return float(self.edge_attributes(source, target).get("bandwidth", 0.0))
 
     def total_volume(self) -> float:
+        """Sum of all edge volumes (bits)."""
         return sum(self.volume(s, t) for s, t in self.edges())
 
     def set_position(self, node: Node, x: float, y: float) -> None:
+        """Pin ``node`` to floorplan coordinates (mm)."""
         if not self.has_node(node):
             raise NodeNotFoundError(node)
         self._positions[node] = CorePosition(float(x), float(y))
 
     def position(self, node: Node) -> CorePosition:
+        """The floorplan position of ``node`` (raises if unset)."""
         if node not in self._positions:
             raise NodeNotFoundError(node)
         return self._positions[node]
 
     def has_position(self, node: Node) -> bool:
+        """True when ``node`` has a floorplan position."""
         return node in self._positions
 
     def positions(self) -> dict[Node, CorePosition]:
+        """All pinned floorplan positions by node."""
         return dict(self._positions)
 
     def link_length(self, source: Node, target: Node) -> float:
@@ -574,6 +595,7 @@ class ApplicationGraph(DiGraph):
 
     # -- copies must preserve positions ----------------------------------
     def copy(self) -> "ApplicationGraph":
+        """Deep copy including positions and attributes."""
         clone = super().copy()
         assert isinstance(clone, ApplicationGraph)
         clone._positions = dict(self._positions)
@@ -599,6 +621,7 @@ class GraphStatistics:
 
     @classmethod
     def of(cls, graph: DiGraph) -> "GraphStatistics":
+        """Compute the statistics of ``graph`` in one pass."""
         nodes = graph.nodes()
         num_nodes = len(nodes)
         num_edges = graph.num_edges

@@ -49,9 +49,11 @@ class IsomorphismMapping:
 
     @classmethod
     def from_dict(cls, mapping: dict[Node, Node]) -> "IsomorphismMapping":
+        """Canonicalize a plain mapping dict into a hashable mapping."""
         return cls(tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0]))))
 
     def as_dict(self) -> dict[Node, Node]:
+        """Plain-dict view of the node mapping."""
         return dict(self.mapping)
 
     @cached_property
@@ -61,9 +63,11 @@ class IsomorphismMapping:
         return dict(self.mapping)
 
     def image(self, node: Node) -> Node:
+        """The target node a pattern node is mapped to."""
         return self._lookup_table[node]
 
     def target_nodes(self) -> set[Node]:
+        """The set of target nodes used by the mapping."""
         return {target for _, target in self.mapping}
 
     def covered_edges(self, pattern: DiGraph) -> frozenset[Edge]:
@@ -159,6 +163,7 @@ class VF2Matcher:
         return list(self.iter_matches(limit=limit))
 
     def exists(self) -> bool:
+        """True when at least one subgraph isomorphism exists."""
         return self.find_one() is not None
 
     @property

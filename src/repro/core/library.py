@@ -41,10 +41,12 @@ class LibraryEntry:
 
     @property
     def name(self) -> str:
+        """The primitive's display name."""
         return self.primitive.name
 
     @property
     def size(self) -> int:
+        """Number of nodes of the primitive."""
         return self.primitive.size
 
 
@@ -78,6 +80,7 @@ class CommunicationLibrary:
         return entry
 
     def extend(self, primitives: Iterable[CommunicationPrimitive]) -> None:
+        """Add several primitives in order."""
         for primitive in primitives:
             self.add(primitive)
 
@@ -94,24 +97,29 @@ class CommunicationLibrary:
         return name in self._by_name
 
     def entries(self) -> list[LibraryEntry]:
+        """All entries in insertion (ID) order."""
         return list(self._entries)
 
     def primitives(self) -> list[CommunicationPrimitive]:
+        """All primitives in insertion (ID) order."""
         return [entry.primitive for entry in self._entries]
 
     def by_name(self, name: str) -> CommunicationPrimitive:
+        """Look a primitive up by name (raises :class:`LibraryError`)."""
         try:
             return self._by_name[name].primitive
         except KeyError as error:
             raise LibraryError(f"no primitive named {name!r} in library {self.name!r}") from error
 
     def by_id(self, primitive_id: int) -> CommunicationPrimitive:
+        """Look a primitive up by numeric ID (raises :class:`LibraryError`)."""
         for entry in self._entries:
             if entry.primitive_id == primitive_id:
                 return entry.primitive
         raise LibraryError(f"no primitive with id {primitive_id} in library {self.name!r}")
 
     def by_kind(self, kind: PrimitiveKind) -> list[CommunicationPrimitive]:
+        """All primitives of one :class:`PrimitiveKind`."""
         return [entry.primitive for entry in self._entries if entry.primitive.kind is kind]
 
     # ------------------------------------------------------------------

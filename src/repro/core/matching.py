@@ -40,12 +40,14 @@ class Matching:
     def from_mapping(
         cls, primitive: CommunicationPrimitive, mapping: IsomorphismMapping
     ) -> "Matching":
+        """Build a matching from a VF2 isomorphism mapping."""
         return cls.from_dict(primitive, mapping.as_dict())
 
     @classmethod
     def from_dict(
         cls, primitive: CommunicationPrimitive, mapping: Mapping[Node, Node]
     ) -> "Matching":
+        """Build a matching from a primitive-node -> core dict (validated)."""
         expected = set(primitive.representation.nodes())
         provided = set(mapping)
         if expected != provided:
@@ -65,6 +67,7 @@ class Matching:
     # accessors
     # ------------------------------------------------------------------
     def as_dict(self) -> dict[Node, Node]:
+        """Plain-dict view of the primitive-node -> core binding."""
         return dict(self.assignment)
 
     @cached_property
@@ -74,6 +77,7 @@ class Matching:
         return dict(self.assignment)
 
     def core_of(self, primitive_node: Node) -> Node:
+        """The core a primitive node is bound to."""
         try:
             return self._binding_table[primitive_node]
         except KeyError:
@@ -82,6 +86,7 @@ class Matching:
             ) from None
 
     def cores(self) -> list[Node]:
+        """All cores used by this matching."""
         return [core for _, core in self.assignment]
 
     @cached_property
@@ -205,16 +210,20 @@ class RemainderGraph:
 
     @property
     def num_edges(self) -> int:
+        """Number of uncovered ACG edges."""
         return self.graph.num_edges
 
     @property
     def is_empty(self) -> bool:
+        """True when every ACG edge was covered by a primitive."""
         return self.graph.num_edges == 0
 
     def edges(self) -> list[Edge]:
+        """The uncovered edges, implemented as point-to-point links."""
         return self.graph.edges()
 
     def describe(self) -> str:
+        """One-line listing in the paper's Section-5 output format."""
         if self.is_empty:
             return "0: Remaining Graph: (empty)"
         edge_text = ", ".join(f"({source} {target})" for source, target in self.edges())

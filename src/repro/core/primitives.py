@@ -94,10 +94,12 @@ class CommunicationPrimitive:
 
     @property
     def num_requirement_edges(self) -> int:
+        """Edges of the requirement (representation) graph."""
         return self.representation.num_edges
 
     @property
     def num_implementation_edges(self) -> int:
+        """Directed edges of the implementation graph."""
         return self.implementation.num_edges
 
     @property
@@ -110,6 +112,7 @@ class CommunicationPrimitive:
 
     @property
     def num_rounds(self) -> int:
+        """Rounds of the primitive's optimal communication schedule."""
         return self.schedule.num_rounds
 
     def diameter(self) -> int:

@@ -36,6 +36,7 @@ class Transfer:
     receiver: Node
 
     def reversed(self) -> "Transfer":
+        """The same transfer in the opposite direction."""
         return Transfer(self.receiver, self.sender)
 
     def __repr__(self) -> str:
@@ -54,6 +55,7 @@ class Round:
 
     @classmethod
     def of(cls, *pairs: tuple[Node, Node]) -> "Round":
+        """A round of one-way transfers, one per (sender, receiver) pair."""
         return cls(tuple(Transfer(sender, receiver) for sender, receiver in pairs))
 
     @classmethod
@@ -66,6 +68,7 @@ class Round:
         return cls(tuple(transfers))
 
     def participants(self) -> set[Node]:
+        """Every node that sends or receives in this round."""
         nodes: set[Node] = set()
         for transfer in self.transfers:
             nodes.add(transfer.sender)
@@ -102,16 +105,20 @@ class CommunicationSchedule:
 
     @classmethod
     def from_rounds(cls, rounds: Iterable[Round]) -> "CommunicationSchedule":
+        """Assemble a schedule from an iterable of rounds."""
         return cls(tuple(rounds))
 
     @property
     def num_rounds(self) -> int:
+        """Number of rounds in the schedule."""
         return len(self.rounds)
 
     def all_transfers(self) -> list[Transfer]:
+        """Every transfer of every round, flattened in order."""
         return [transfer for round_ in self.rounds for transfer in round_]
 
     def participants(self) -> set[Node]:
+        """Every node that appears in some round."""
         nodes: set[Node] = set()
         for round_ in self.rounds:
             nodes |= round_.participants()

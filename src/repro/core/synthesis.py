@@ -71,6 +71,7 @@ class SynthesizedArchitecture:
         return constraints_ok and deadlock_ok
 
     def describe(self) -> str:
+        """Multi-line human-readable summary of the synthesized design."""
         lines = [
             f"Synthesized architecture for {self.acg.name or 'application'!s}",
             f"  primitives used: {self.decomposition.primitives_used()}",

@@ -3,18 +3,23 @@
 ``repro.dse`` turns the per-figure experiment scripts into a batch
 exploration engine:
 
-* :mod:`repro.dse.pipeline` — ``evaluate(scenario, settings)`` chains
-  decompose -> synthesize -> floorplan/route -> simulate -> energy and
-  returns every metric (and every failure) as one record;
+* :mod:`repro.dse.pipeline` — ``evaluate(scenario, settings)`` chains the
+  explicit stages decompose -> synthesize -> route -> simulate -> score
+  and returns every metric (and every failure) as one record;
 * :mod:`repro.dse.scenarios` — named scenario suites over the AES case
   study, published embedded benchmarks, TGFF/Pajek generators and
   degree-sequence random graphs;
-* :mod:`repro.dse.runner` — grid expansion + process-pool fan-out with a
-  content-hash-keyed on-disk JSONL cache (re-runs only execute new cells);
+* :mod:`repro.dse.cache` — the layered on-disk caches: content-hash-keyed
+  JSONL cell results plus a stage-artifact store that shares one
+  serialized decomposition across every cell of a simulator-axis sweep;
+* :mod:`repro.dse.runner` — grid expansion + process-pool fan-out of
+  decomposition-sharing cell groups (re-runs only execute new cells, and
+  the search runs once per decomposition sub-key);
 * :mod:`repro.dse.analysis` — Pareto fronts over energy/latency/
-  throughput and mesh-baseline normalization;
+  throughput, mesh-baseline normalization, stage-reuse summaries and
+  flagging of budget-truncated (machine-speed-dependent) cells;
 * ``python -m repro.dse`` — the ``run`` / ``report`` / ``list-scenarios``
-  command line.
+  command line (worked example in ``docs/dse.md``).
 
 Quickstart::
 
@@ -35,19 +40,38 @@ from repro.dse.analysis import (
     normalize_to_mesh,
     pareto_front,
     pareto_report,
+    stage_reuse_summary,
+    truncated_cells,
 )
-from repro.dse.cache import PIPELINE_VERSION, ResultCache, cache_key
+from repro.dse.cache import (
+    PIPELINE_VERSION,
+    ResultCache,
+    StageArtifactStore,
+    StageContext,
+    cache_key,
+    decomposition_stage_key,
+    synthesis_stage_key,
+)
 from repro.dse.pipeline import (
     ArchitectureMetrics,
     EvaluationSettings,
     Scenario,
     build_baseline_mesh,
+    decompose_stage,
     evaluate,
+    route_stage,
+    score_stage,
     simulate_acg_traffic,
     simulate_aes_traffic,
+    simulate_stage,
+    synthesize_stage,
 )
 from repro.dse.records import (
     ALL_STATUSES,
+    STAGE_COMPUTED,
+    STAGE_PROVENANCES,
+    STAGE_REUSED_MEMORY,
+    STAGE_REUSED_STORE,
     STATUS_DECOMPOSITION_FAILED,
     STATUS_OK,
     STATUS_ROUTING_FAILED,
@@ -81,6 +105,11 @@ from repro.dse.scenarios import (
 
 __all__ = [
     "evaluate",
+    "decompose_stage",
+    "synthesize_stage",
+    "route_stage",
+    "simulate_stage",
+    "score_stage",
     "EvaluationRecord",
     "EvaluationSettings",
     "Scenario",
@@ -94,9 +123,19 @@ __all__ = [
     "STATUS_ROUTING_FAILED",
     "STATUS_SIMULATION_FAILED",
     "ALL_STATUSES",
+    "STAGE_COMPUTED",
+    "STAGE_REUSED_MEMORY",
+    "STAGE_REUSED_STORE",
+    "STAGE_PROVENANCES",
     "ResultCache",
+    "StageArtifactStore",
+    "StageContext",
     "cache_key",
+    "decomposition_stage_key",
+    "synthesis_stage_key",
     "PIPELINE_VERSION",
+    "stage_reuse_summary",
+    "truncated_cells",
     "run_sweep",
     "plan_sweep",
     "expand_grid",

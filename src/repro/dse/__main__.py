@@ -9,9 +9,12 @@ Examples::
     python -m repro.dse report
     python -m repro.dse report --suite smoke --csv sweep.csv
 
-``run`` executes a suite's grid against the on-disk cache (re-runs only
-evaluate new cells); ``report`` prints per-scenario Pareto tables with
-mesh-normalized columns from the cached results.
+``run`` executes a suite's grid against the on-disk caches (re-runs only
+evaluate new cells, and cells differing only in simulator axes share one
+decomposition through the stage-artifact store); ``report`` prints
+per-scenario Pareto tables with mesh-normalized columns from the cached
+results, flagging budget-truncated cells.  A worked end-to-end example
+lives in ``docs/dse.md``.
 """
 
 from __future__ import annotations
@@ -22,13 +25,20 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.dse.analysis import pareto_report, normalize_to_mesh
-from repro.dse.cache import ResultCache
+from repro.dse.analysis import (
+    normalize_to_mesh,
+    pareto_report,
+    stage_reuse_summary,
+    truncated_cells,
+)
+from repro.dse.cache import ResultCache, StageArtifactStore
 from repro.dse.runner import run_sweep
 from repro.dse.scenarios import build_suite, describe_suites, get_suite, scenario_rows
 from repro.exceptions import ConfigurationError, ReproError
 
 DEFAULT_RESULTS = Path("dse_results") / "results.jsonl"
+#: stage artifacts default to a sibling directory of the results file
+DEFAULT_ARTIFACTS_NAME = "stage_artifacts"
 
 
 def _coerce(text: str) -> object:
@@ -57,12 +67,22 @@ def _parse_axes(specs: Sequence[str]) -> dict[str, list[object]]:
     return axes
 
 
+def _artifact_store(arguments: argparse.Namespace) -> StageArtifactStore | None:
+    if arguments.no_artifacts:
+        return None
+    directory = arguments.artifacts
+    if directory is None:
+        directory = Path(arguments.results).parent / DEFAULT_ARTIFACTS_NAME
+    return StageArtifactStore(directory)
+
+
 def _cmd_run(arguments: argparse.Namespace) -> int:
     spec = get_suite(arguments.suite)
     scenarios = spec.build()
     axes = dict(spec.default_axes)
     axes.update(_parse_axes(arguments.axis))
     cache = ResultCache(arguments.results)
+    artifacts = _artifact_store(arguments)
     result = run_sweep(
         scenarios,
         base=spec.base_settings,
@@ -70,6 +90,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         cache=cache,
         parallel=arguments.parallel,
         max_workers=arguments.workers,
+        artifacts=artifacts,
     )
     print(f"suite {spec.name!r}: {len(scenarios)} scenarios x grid {axes}")
     print(result.describe())
@@ -77,6 +98,8 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         print(f"  FAILED {record.scenario} [{record.config_label}]: "
               f"{record.status}: {record.error}")
     print(f"results: {cache.describe()}")
+    if artifacts is not None:
+        print(f"stage artifacts: {artifacts.describe()}")
     print("next: python -m repro.dse report"
           + (f" --results {arguments.results}" if arguments.results != DEFAULT_RESULTS else ""))
     return 0
@@ -93,6 +116,20 @@ def _cmd_report(arguments: argparse.Namespace) -> int:
               "(python -m repro.dse run --suite smoke)")
         return 1
     print(pareto_report(records))
+    reuse = stage_reuse_summary(records)
+    if reuse:
+        parts = []
+        for stage in sorted(reuse):
+            counts = reuse[stage]
+            breakdown = ", ".join(
+                f"{counts[provenance]} {provenance}" for provenance in sorted(counts)
+            )
+            parts.append(f"{stage}: {breakdown}")
+        print(f"\nstage provenance across {len(records)} cells — " + "; ".join(parts))
+    truncated = truncated_cells(records)
+    if truncated:
+        print(f"warning: {len(truncated)} cell(s) were budget-truncated; "
+              "see the '!' markers above")
     if arguments.csv:
         # imported lazily for the same reason as in repro.dse.analysis
         from repro.experiments.reporting import rows_to_csv
@@ -115,39 +152,75 @@ def _cmd_list_scenarios(arguments: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.dse`` argument parser (all defaults documented)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.dse",
         description="batch NoC design-space exploration over scenario suites",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    run = commands.add_parser("run", help="execute a suite's sweep grid (cached)")
-    run.add_argument("--suite", default="smoke", help="scenario suite name (default: smoke)")
+    run = commands.add_parser(
+        "run",
+        help="execute a suite's sweep grid (cached)",
+        description="Execute a suite's sweep grid against the on-disk caches. "
+        "Cells already present in the JSONL result cache are not re-evaluated; "
+        "cells differing only in simulator-stage axes share one decomposition "
+        "through the stage-artifact store. See docs/dse.md for a worked example.",
+    )
+    run.add_argument("--suite", default="smoke",
+                     help="scenario suite name, see list-scenarios (default: smoke)")
     run.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
-                     help=f"JSONL result cache (default: {DEFAULT_RESULTS})")
+                     help=f"JSONL result cache file (default: {DEFAULT_RESULTS})")
+    run.add_argument("--artifacts", type=Path, default=None, metavar="DIR",
+                     help="stage-artifact store directory; shared decompositions "
+                          "persist here across runs (default: a "
+                          f"'{DEFAULT_ARTIFACTS_NAME}' directory next to --results)")
+    run.add_argument("--no-artifacts", action="store_true",
+                     help="disable the on-disk stage-artifact store; stage reuse "
+                          "stays in-memory within this run (default: off)")
     run.add_argument("--parallel", action="store_true",
-                     help="fan cells out over a process pool")
+                     help="fan decomposition-sharing groups out over a process "
+                          "pool (default: serial)")
     run.add_argument("--workers", type=int, default=None,
-                     help="process-pool size (default: cpu count)")
+                     help="process-pool size with --parallel (default: cpu count)")
     run.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
-                     help="override/add a grid axis (repeatable)")
+                     help="override/add a grid axis; repeatable; values are "
+                          "coerced to bool/int/float/None when they parse as such "
+                          "(default: the suite's grid)")
     run.set_defaults(handler=_cmd_run)
 
-    report = commands.add_parser("report", help="Pareto/baseline report from cached results")
-    report.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    report = commands.add_parser(
+        "report",
+        help="Pareto/baseline report from cached results",
+        description="Print per-scenario Pareto tables with mesh-normalized "
+        "columns from the cached results. Budget-truncated decomposition cells "
+        "are marked '!' and called out: their figures are machine-speed-"
+        "dependent (see docs/dse.md).",
+    )
+    report.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
+                        help=f"JSONL result cache file (default: {DEFAULT_RESULTS})")
     report.add_argument("--suite", default=None,
-                        help="restrict the report to one suite's scenarios")
-    report.add_argument("--csv", type=Path, default=None,
-                        help="also export the report rows as CSV")
+                        help="restrict the report to one suite's scenarios "
+                             "(default: all scenarios in the results file)")
+    report.add_argument("--csv", type=Path, default=None, metavar="FILE",
+                        help="also export the report rows as CSV (default: no export)")
     report.set_defaults(handler=_cmd_report)
 
-    listing = commands.add_parser("list-scenarios", help="list suites or a suite's scenarios")
-    listing.add_argument("--suite", default=None)
+    listing = commands.add_parser(
+        "list-scenarios",
+        help="list suites or a suite's scenarios",
+        description="Without --suite, list every registered suite with its "
+        "scenario and grid-cell counts; with --suite, list that suite's "
+        "scenarios (nodes, edges, traffic mode).",
+    )
+    listing.add_argument("--suite", default=None,
+                         help="suite whose scenarios to list (default: list suites)")
     listing.set_defaults(handler=_cmd_list_scenarios)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse ``argv`` (default: ``sys.argv[1:]``) and run the subcommand."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
     try:

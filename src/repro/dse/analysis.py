@@ -6,6 +6,11 @@ energy / latency / throughput trade-off, and how each cell compares to
 the standard-mesh baseline evaluated under identical traffic.  All
 helpers operate on :class:`~repro.dse.records.EvaluationRecord` lists
 as produced by the runner or loaded from the JSONL cache.
+
+Cells whose decomposition search hit its budget
+(:attr:`~repro.dse.records.EvaluationRecord.truncated_search`) carry
+machine-speed-dependent results; :func:`pareto_report` marks them with
+``!`` and prints a caveat rather than silently mixing them into fronts.
 """
 
 from __future__ import annotations
@@ -177,6 +182,33 @@ def custom_dominates_mesh(
     )
 
 
+def truncated_cells(records: Sequence[EvaluationRecord]) -> list[EvaluationRecord]:
+    """The records whose decomposition search exhausted its budget.
+
+    These results are machine-speed-dependent (a slower host caches a worse
+    decomposition under the same content key), so reports flag them instead
+    of presenting them as exact; re-run them with a larger
+    ``decomposition_timeout_seconds`` to make them reproducible.
+    """
+    return [record for record in records if record.truncated_search]
+
+
+def stage_reuse_summary(records: Sequence[EvaluationRecord]) -> dict[str, dict[str, int]]:
+    """Provenance counts per pipeline stage, e.g. ``{"decompose": {"computed": 2, "memory": 4}}``.
+
+    Only cells that ran the stage appear (mesh cells never decompose); the
+    runner's :class:`~repro.dse.runner.SweepResult` carries the same counts
+    for one sweep, while this helper works on any record list, including
+    records loaded back from the JSONL cache.
+    """
+    summary: dict[str, dict[str, int]] = {}
+    for record in records:
+        for stage, provenance in record.stage_reuse.items():
+            by_provenance = summary.setdefault(stage, {})
+            by_provenance[provenance] = by_provenance.get(provenance, 0) + 1
+    return summary
+
+
 # ----------------------------------------------------------------------
 # reports
 # ----------------------------------------------------------------------
@@ -185,6 +217,7 @@ _REPORT_COLUMNS = (
     "config",
     "status",
     "pareto",
+    "trunc",
     "cycles_per_iteration",
     "avg_latency_cycles",
     "throughput_mbps",
@@ -198,6 +231,7 @@ _REPORT_COLUMNS = (
 
 
 def scenario_names(records: Sequence[EvaluationRecord]) -> list[str]:
+    """Distinct scenario names in first-seen order."""
     seen: dict[str, None] = {}
     for record in records:
         seen.setdefault(record.scenario, None)
@@ -222,6 +256,8 @@ def pareto_report(
         rows = []
         for row, record in zip(normalize_to_mesh(scoped), scoped):
             row["pareto"] = "*" if id(record) in front else ""
+            if record.truncated_search:
+                row["trunc"] = "!"
             rows.append(row)
         columns = [
             column
@@ -234,7 +270,22 @@ def pareto_report(
             if custom_dominates_mesh(records, scenario, minimize, maximize)
             else "custom does not dominate the mesh baseline"
         )
-        sections.append(f"{table}\n  -> {scenario}: {verdict}")
+        section = f"{table}\n  -> {scenario}: {verdict}"
+        truncated = truncated_cells(scoped)
+        if truncated:
+            in_front = [record for record in truncated if id(record) in front]
+            caveat = (
+                f"  !  {len(truncated)} cell(s) hit the decomposition search "
+                "budget (marked '!'): results are machine-speed-dependent; "
+                "re-run with a larger decomposition_timeout_seconds"
+            )
+            if in_front:
+                caveat += (
+                    f"\n  !  {len(in_front)} of them sit on the Pareto front — "
+                    "treat this frontier as approximate"
+                )
+            section = f"{section}\n{caveat}"
+        sections.append(section)
     if not sections:
         return "(no records)"
     return "\n\n".join(sections)

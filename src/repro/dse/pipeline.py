@@ -3,9 +3,10 @@
 This is the engine the batch design-space exploration is built on — and
 the same engine the Section-5.2 prototype comparison now runs on
 (:mod:`repro.experiments.comparison` delegates its measurements here).
-One call to :func:`evaluate` chains the full flow
+One call to :func:`evaluate` chains the explicit stage functions
 
-    decompose -> synthesize -> floorplan/route -> simulate -> energy
+    decompose_stage -> synthesize_stage -> route_stage
+        -> simulate_stage -> score_stage
 
 for the ``custom`` architecture, or builds the mesh baseline with XY
 routing for ``mesh``, then drives the cycle-level simulator with the
@@ -14,6 +15,15 @@ phases) and captures every figure of merit into an
 :class:`~repro.dse.records.EvaluationRecord`.  Failures at any stage
 become record statuses, not exceptions: an infeasible or deadlocking
 configuration is a *result* of the exploration.
+
+The stages are separable on purpose: the decompose stage only reads the
+workload graph plus the decomposition knobs, and the synthesize/route
+stages only add the synthesis knobs, so sweep cells that differ in
+simulator-stage axes alone (injection knobs, buffering, cycle budgets)
+share one decomposition — and one synthesized topology — through a
+:class:`~repro.dse.cache.StageContext`.  ``record.stage_reuse`` says per
+cell whether each stage was computed fresh or served from the in-memory
+memo (``"memory"``) or the on-disk artifact store (``"store"``).
 """
 
 from __future__ import annotations
@@ -42,12 +52,15 @@ from repro.core.library import (
     extended_library,
     minimal_library,
 )
+from repro.core.constraints import ConstraintChecker, DesignConstraints
+from repro.core.routing_table import build_routing_table
 from repro.core.synthesis import (
     SynthesisOptions,
     SynthesizedArchitecture,
-    synthesize_architecture,
+    TopologySynthesizer,
 )
 from repro.dse.records import (
+    STAGE_COMPUTED,
     STATUS_DECOMPOSITION_FAILED,
     STATUS_ROUTING_FAILED,
     STATUS_SIMULATION_FAILED,
@@ -65,6 +78,7 @@ from repro.exceptions import (
 from repro.noc.simulator import NoCSimulator, SimulatorConfig
 from repro.noc.stats import throughput_mbps_from_cycles
 from repro.noc.traffic import acg_messages
+from repro.routing.deadlock import analyze_deadlock
 from repro.routing.xy import xy_next_hop
 
 NodeId = Hashable
@@ -139,10 +153,12 @@ class EvaluationSettings:
             )
 
     def as_dict(self) -> dict[str, object]:
+        """All fields as a plain JSON-serializable dict."""
         return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "EvaluationSettings":
+        """Rebuild settings from a dict, ignoring unknown keys."""
         known = {spec.name for spec in fields(cls)}
         return cls(**{key: value for key, value in payload.items() if key in known})
 
@@ -174,6 +190,49 @@ class EvaluationSettings:
             payload["mesh_tile_pitch_mm"] = None
         return payload
 
+    #: fields only the simulate/score stages read; changing one never changes
+    #: the decomposition or the synthesized topology
+    _SIMULATOR_STAGE_FIELDS = (
+        "technology",
+        "router_pipeline_delay_cycles",
+        "buffer_capacity_packets",
+        "max_cycles",
+    )
+
+    #: fields the synthesize/route stages read on top of the decomposition
+    #: (``flit_width_bits`` also feeds the simulator config, but it shapes the
+    #: topology first, so it is upstream of the simulate stage)
+    _SYNTHESIS_STAGE_FIELDS = (
+        "flit_width_bits",
+        "bidirectional_links",
+        "fill_all_pairs_routing",
+    )
+
+    def synthesis_stage_dict(self) -> dict[str, object]:
+        """:meth:`canonical_dict` with the simulator-stage fields nulled out.
+
+        The content identity of the synthesize/route stages: cells that agree
+        on this dict (and on the workload graph) produce the same synthesized
+        topology, routing table and constraint/deadlock reports, whatever
+        their simulator knobs say.
+        """
+        payload = self.canonical_dict()
+        for name in self._SIMULATOR_STAGE_FIELDS:
+            payload[name] = None
+        return payload
+
+    def decomposition_stage_dict(self) -> dict[str, object]:
+        """:meth:`synthesis_stage_dict` with the synthesis fields nulled too.
+
+        The content identity of the decompose stage: only the search knobs
+        (strategy, library, matching/timeout/node budgets) survive, so every
+        simulator- or synthesis-axis sweep cell shares one decomposition.
+        """
+        payload = self.synthesis_stage_dict()
+        for name in self._SYNTHESIS_STAGE_FIELDS:
+            payload[name] = None
+        return payload
+
     def merged(self, overrides: dict[str, object]) -> "EvaluationSettings":
         """A copy with the given fields replaced (unknown keys rejected)."""
         known = {spec.name for spec in fields(self)}
@@ -183,6 +242,7 @@ class EvaluationSettings:
         return replace(self, **overrides)
 
     def build_decomposition_config(self) -> DecompositionConfig:
+        """The decompose-stage knobs as a :class:`DecompositionConfig`."""
         return DecompositionConfig(
             strategy=STRATEGIES[self.strategy],
             max_matchings_per_primitive=self.max_matchings_per_primitive,
@@ -192,9 +252,11 @@ class EvaluationSettings:
         )
 
     def build_library(self) -> CommunicationLibrary:
+        """Instantiate the named communication library."""
         return LIBRARIES[self.library]()
 
     def build_synthesis_options(self) -> SynthesisOptions:
+        """The synthesize/route-stage knobs as :class:`SynthesisOptions`."""
         return SynthesisOptions(
             flit_width_bits=self.flit_width_bits,
             bidirectional_links=self.bidirectional_links,
@@ -202,6 +264,7 @@ class EvaluationSettings:
         )
 
     def build_simulator_config(self) -> SimulatorConfig:
+        """The simulate-stage knobs as a :class:`SimulatorConfig`."""
         return SimulatorConfig(
             flit_width_bits=self.flit_width_bits,
             buffer_capacity_packets=self.buffer_capacity_packets,
@@ -210,6 +273,7 @@ class EvaluationSettings:
         )
 
     def build_technology(self) -> Technology:
+        """Resolve the named technology's energy/frequency parameters."""
         return get_technology(self.technology)
 
 
@@ -244,12 +308,35 @@ class Scenario:
             raise ConfigurationError("repetitions and aes_blocks must be at least 1")
 
     def effective_settings(self, settings: EvaluationSettings) -> EvaluationSettings:
+        """The grid cell's settings with this scenario's pins applied."""
         if not self.settings_overrides:
             return settings
         return settings.merged(self.settings_overrides)
 
     def fingerprint(self) -> dict[str, object]:
         """Content identity for cache keys: workload + traffic, not labels."""
+        # the display name is deliberately absent: renaming a scenario must
+        # not invalidate cached results for a content-identical workload
+        # (the runner re-labels shared records with each cell's own name)
+        return {
+            "traffic": self.traffic,
+            "repetitions": self.repetitions,
+            "aes_blocks": self.aes_blocks,
+            "computation_cycles_per_phase": self.computation_cycles_per_phase,
+            "packet_size_bits": self.packet_size_bits,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+            **self.structural_fingerprint(),
+        }
+
+    def structural_fingerprint(self) -> dict[str, object]:
+        """The workload-graph part of :meth:`fingerprint`.
+
+        Content identity of the communication graph alone — nodes, weighted
+        edges and floorplan positions.  This is all the decompose and
+        synthesize/route stages read; traffic-stage knobs (repetitions, AES
+        block counts, packet sizes) are deliberately absent so cells that
+        differ only in how the workload is *driven* share one decomposition.
+        """
         edges = sorted(
             (
                 str(source),
@@ -264,16 +351,7 @@ class Scenario:
             for node in self.acg.nodes()
             if self.acg.has_position(node)
         }
-        # the display name is deliberately absent: renaming a scenario must
-        # not invalidate cached results for a content-identical workload
-        # (the runner re-labels shared records with each cell's own name)
         return {
-            "traffic": self.traffic,
-            "repetitions": self.repetitions,
-            "aes_blocks": self.aes_blocks,
-            "computation_cycles_per_phase": self.computation_cycles_per_phase,
-            "packet_size_bits": self.packet_size_bits,
-            "params": {key: self.params[key] for key in sorted(self.params)},
             "nodes": sorted(str(node) for node in self.acg.nodes()),
             "edges": edges,
             "positions": {key: positions[key] for key in sorted(positions)},
@@ -305,6 +383,7 @@ class ArchitectureMetrics:
     max_channel_utilization: float
 
     def as_dict(self) -> dict[str, object]:
+        """Reporting-row view of the measured figures of merit."""
         return {
             "architecture": self.name,
             "cycles_per_block": self.cycles_per_block,
@@ -419,15 +498,97 @@ def build_baseline_mesh(
 
 
 # ----------------------------------------------------------------------
-# the pipeline
+# the pipeline, stage by stage
 # ----------------------------------------------------------------------
-def _simulate_scenario(
+def run_decomposition_search(
+    scenario: Scenario, settings: EvaluationSettings
+) -> DecompositionResult:
+    """The uncached decompose stage: run the search on the scenario's ACG.
+
+    This is the expensive part of a custom-architecture evaluation; callers
+    that may share decompositions across cells go through
+    :func:`decompose_stage` with a :class:`~repro.dse.cache.StageContext`
+    instead of calling this directly.
+    """
+    settings = scenario.effective_settings(settings)
+    return decompose(
+        scenario.acg,
+        settings.build_library(),
+        cost_model=LinkCountCostModel(),
+        config=settings.build_decomposition_config(),
+    )
+
+
+def decompose_stage(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    context: "object | None" = None,
+) -> tuple[DecompositionResult, str]:
+    """Stage 1: cover the workload graph with library primitives.
+
+    Returns ``(decomposition, provenance)`` where provenance is one of the
+    :data:`~repro.dse.records.STAGE_COMPUTED` /
+    :data:`~repro.dse.records.STAGE_REUSED_MEMORY` /
+    :data:`~repro.dse.records.STAGE_REUSED_STORE` markers.  With a
+    :class:`~repro.dse.cache.StageContext` the search runs at most once per
+    decomposition sub-key; without one it always runs fresh.
+    """
+    if context is None:
+        return run_decomposition_search(scenario, settings), STAGE_COMPUTED
+    return context.decomposition_for(scenario, settings)
+
+
+def synthesize_stage(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    decomposition: DecompositionResult,
+) -> Topology:
+    """Stage 2: instantiate the chosen primitives as a customized topology."""
+    settings = scenario.effective_settings(settings)
+    synthesizer = TopologySynthesizer(options=settings.build_synthesis_options())
+    return synthesizer.build_topology(scenario.acg, decomposition)
+
+
+def route_stage(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    decomposition: DecompositionResult,
+    topology: Topology,
+) -> SynthesizedArchitecture:
+    """Stage 3: routing table + constraint and deadlock analysis.
+
+    Packages the stage outputs as a
+    :class:`~repro.core.synthesis.SynthesizedArchitecture`, exactly what
+    :func:`repro.core.synthesis.synthesize_architecture` would build in one
+    go — the split exists so the synthesize/route product can be memoized
+    under the synthesis sub-key.
+    """
+    settings = scenario.effective_settings(settings)
+    table = build_routing_table(
+        decomposition, topology, fill_all_pairs=settings.fill_all_pairs_routing
+    )
+    constraint_report = ConstraintChecker(DesignConstraints()).check(
+        topology, table, scenario.acg
+    )
+    deadlock_report = analyze_deadlock(table, scenario.acg.edges())
+    return SynthesizedArchitecture(
+        acg=scenario.acg,
+        decomposition=decomposition,
+        topology=topology,
+        routing_table=table,
+        constraint_report=constraint_report,
+        deadlock_report=deadlock_report,
+    )
+
+
+def simulate_stage(
     scenario: Scenario,
     settings: EvaluationSettings,
     name: str,
     topology: Topology,
     routing: RoutingFunction,
 ) -> ArchitectureMetrics:
+    """Stage 4: drive the cycle-level simulator with the scenario's traffic."""
     technology = settings.build_technology()
     simulator_config = settings.build_simulator_config()
     if scenario.traffic == TRAFFIC_AES_PHASES:
@@ -452,7 +613,8 @@ def _simulate_scenario(
     )
 
 
-def _metrics_payload(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, float]:
+def score_stage(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, float]:
+    """Stage 5: flatten measured metrics into the record's figures of merit."""
     return {
         "total_cycles": float(metrics.total_cycles),
         "cycles_per_iteration": metrics.cycles_per_block,
@@ -468,29 +630,10 @@ def _metrics_payload(metrics: ArchitectureMetrics, topology: Topology) -> dict[s
     }
 
 
-def _synthesize_custom(
-    scenario: Scenario, settings: EvaluationSettings, record: EvaluationRecord
-) -> SynthesizedArchitecture:
-    decomposition = _decompose_scenario(scenario, settings, record)
-    architecture = synthesize_architecture(
-        scenario.acg, decomposition, options=settings.build_synthesis_options()
-    )
-    if architecture.constraint_report is not None:
-        record.constraints_satisfied = architecture.constraint_report.satisfied
-    if architecture.deadlock_report is not None:
-        record.deadlock_free = architecture.deadlock_report.is_deadlock_free
-    return architecture
-
-
-def _decompose_scenario(
-    scenario: Scenario, settings: EvaluationSettings, record: EvaluationRecord
-) -> DecompositionResult:
-    decomposition = decompose(
-        scenario.acg,
-        settings.build_library(),
-        cost_model=LinkCountCostModel(),
-        config=settings.build_decomposition_config(),
-    )
+def _record_decomposition(
+    record: EvaluationRecord, decomposition: DecompositionResult
+) -> None:
+    """Copy the decompose stage's outputs into the record."""
     record.search_statistics = decomposition.statistics.as_dict()
     record.metrics.update(
         {
@@ -500,7 +643,30 @@ def _decompose_scenario(
             "covered_fraction": decomposition.covered_edge_fraction(),
         }
     )
-    return decomposition
+
+
+def _synthesize_custom(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    record: EvaluationRecord,
+    context: "object | None",
+) -> SynthesizedArchitecture:
+    """Chain decompose -> synthesize -> route for one custom-architecture cell."""
+    decomposition, provenance = decompose_stage(scenario, settings, context)
+    record.stage_reuse["decompose"] = provenance
+    _record_decomposition(record, decomposition)
+    if context is not None:
+        architecture, provenance = context.architecture_for(scenario, settings, decomposition)
+    else:
+        topology = synthesize_stage(scenario, settings, decomposition)
+        architecture = route_stage(scenario, settings, decomposition, topology)
+        provenance = STAGE_COMPUTED
+    record.stage_reuse["synthesize"] = provenance
+    if architecture.constraint_report is not None:
+        record.constraints_satisfied = architecture.constraint_report.satisfied
+    if architecture.deadlock_report is not None:
+        record.deadlock_free = architecture.deadlock_report.is_deadlock_free
+    return architecture
 
 
 def evaluate(
@@ -509,6 +675,7 @@ def evaluate(
     cache_key: str = "",
     config_label: str = "",
     axes: dict[str, object] | None = None,
+    context: "object | None" = None,
 ) -> EvaluationRecord:
     """Run the full pipeline for one (scenario, configuration) cell.
 
@@ -516,6 +683,10 @@ def evaluate(
     synthesis, routing and simulation errors all come back as record
     statuses.  Only caller bugs (e.g. an unknown architecture string in a
     hand-built settings object) surface as exceptions.
+
+    ``context`` is an optional :class:`~repro.dse.cache.StageContext`; when
+    given, the decompose and synthesize/route stages are reused across every
+    cell sharing the respective stage sub-key instead of being recomputed.
     """
     settings = scenario.effective_settings(settings)
     record = EvaluationRecord(
@@ -540,12 +711,12 @@ def evaluate(
             )
             name = mesh.name
         else:
-            architecture = _synthesize_custom(scenario, settings, record)
+            architecture = _synthesize_custom(scenario, settings, record, context)
             topology = architecture.topology
             routing = architecture.routing_table.next_hop
             name = architecture.topology.name
-        metrics = _simulate_scenario(scenario, settings, name, topology, routing)
-        record.metrics.update(_metrics_payload(metrics, topology))
+        metrics = simulate_stage(scenario, settings, name, topology, routing)
+        record.metrics.update(score_stage(metrics, topology))
     except DecompositionError as error:
         record.status = STATUS_DECOMPOSITION_FAILED
         record.error = str(error)

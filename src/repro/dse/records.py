@@ -29,6 +29,16 @@ ALL_STATUSES = (
     STATUS_SIMULATION_FAILED,
 )
 
+#: stage provenance markers recorded in :attr:`EvaluationRecord.stage_reuse`
+STAGE_COMPUTED = "computed"
+"""The stage ran fresh for this cell."""
+STAGE_REUSED_MEMORY = "memory"
+"""The stage's artifact was reused from the in-process stage memo."""
+STAGE_REUSED_STORE = "store"
+"""The stage's artifact was deserialized from the on-disk artifact store."""
+
+STAGE_PROVENANCES = (STAGE_COMPUTED, STAGE_REUSED_MEMORY, STAGE_REUSED_STORE)
+
 
 @dataclass
 class EvaluationRecord:
@@ -49,6 +59,10 @@ class EvaluationRecord:
     constraints_satisfied: bool | None = None
     deadlock_free: bool | None = None
     search_statistics: dict[str, object] = field(default_factory=dict)
+    stage_reuse: dict[str, str] = field(default_factory=dict)
+    """Per-stage provenance (``{"decompose": "memory", ...}``): whether each
+    shareable stage was computed for this cell or reused from the in-memory
+    memo / on-disk artifact store.  Empty for mesh cells (no decomposition)."""
     runtime_seconds: float = 0.0
     from_cache: bool = False
 
@@ -57,9 +71,21 @@ class EvaluationRecord:
     # ------------------------------------------------------------------
     @property
     def succeeded(self) -> bool:
+        """True when every stage of the pipeline completed for this cell."""
         return self.status == STATUS_OK
 
+    @property
+    def truncated_search(self) -> bool:
+        """True when the decomposition search exhausted its budget.
+
+        Such a cell's result is machine-speed-dependent (a slower host may
+        have found a worse decomposition under the same content key), so
+        reports flag it instead of silently mixing it into Pareto fronts.
+        """
+        return bool(self.search_statistics.get("truncated"))
+
     def metric(self, key: str, default: float | None = None) -> float | None:
+        """One metric as float, or ``default`` when absent."""
         value = self.metrics.get(key, default)
         return float(value) if value is not None else None
 
@@ -82,15 +108,18 @@ class EvaluationRecord:
     # JSON round-trip (the cache's storage format)
     # ------------------------------------------------------------------
     def to_json(self) -> str:
+        """One JSONL line (the cache's storage format)."""
         payload = asdict(self)
         payload.pop("from_cache", None)  # a load-time annotation, not state
         return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "EvaluationRecord":
+        """Rebuild a record from a dict, ignoring unknown keys."""
         known = {name for name in cls.__dataclass_fields__}  # type: ignore[attr-defined]
         return cls(**{key: value for key, value in payload.items() if key in known})
 
     @classmethod
     def from_json(cls, text: str) -> "EvaluationRecord":
+        """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))

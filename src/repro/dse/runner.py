@@ -3,11 +3,14 @@
 A *grid* is a base :class:`EvaluationSettings` plus named axes (field ->
 list of values); its cartesian product crossed with a scenario list
 yields the sweep cells.  The runner resolves every cell against the
-on-disk :class:`~repro.dse.cache.ResultCache` first and only executes
-the misses — optionally fanned out over a process pool, one cell per
-task, reusing the one-payload-per-worker pattern of the Figure-4
-:mod:`~repro.experiments.runtime_sweep` machinery (module-level worker
-function so payloads pickle cleanly).
+on-disk :class:`~repro.dse.cache.ResultCache` first, groups the misses
+by decomposition sub-key, and fans *groups* — not raw cells — across
+the process pool (module-level worker function so payloads pickle
+cleanly, as in the Figure-4 :mod:`~repro.experiments.runtime_sweep`
+machinery).  Group-granular fan-out is what keeps the stage cache
+effective under parallelism: all cells sharing a decomposition land in
+one worker, whose :class:`~repro.dse.cache.StageContext` runs the
+search exactly once per group.
 """
 
 from __future__ import annotations
@@ -16,10 +19,17 @@ import itertools
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
-from repro.dse.cache import ResultCache, cache_key
+from repro.dse.cache import (
+    ResultCache,
+    StageArtifactStore,
+    StageContext,
+    cache_key,
+    decomposition_stage_key,
+)
 from repro.dse.pipeline import EvaluationSettings, Scenario, evaluate
-from repro.dse.records import EvaluationRecord
+from repro.dse.records import STAGE_COMPUTED, EvaluationRecord
 from repro.exceptions import ConfigurationError
 
 
@@ -62,10 +72,22 @@ class SweepCell:
     settings: EvaluationSettings
     axes: dict[str, object]
     key: str
+    stage_group: str = ""
+    """Decomposition sub-key for custom-architecture cells; cells sharing it
+    reuse one decomposition search and are scheduled into one worker.  Mesh
+    cells (no decomposition) each form their own single-cell group."""
 
     @property
     def label(self) -> str:
+        """Compact human-readable axis label of this cell."""
         return axis_label(self.axes)
+
+
+def _stage_group(scenario: Scenario, settings: EvaluationSettings, key: str) -> str:
+    effective = scenario.effective_settings(settings)
+    if effective.architecture == "custom":
+        return decomposition_stage_key(scenario, settings)
+    return f"cell:{key}"
 
 
 def plan_sweep(
@@ -79,12 +101,14 @@ def plan_sweep(
     cells: list[SweepCell] = []
     for scenario in scenarios:
         for axis_values, settings in expand_grid(base, axes):
+            key = cache_key(scenario, settings)
             cells.append(
                 SweepCell(
                     scenario=scenario,
                     settings=settings,
                     axes=axis_values,
-                    key=cache_key(scenario, settings),
+                    key=key,
+                    stage_group=_stage_group(scenario, settings, key),
                 )
             )
     return cells
@@ -97,53 +121,114 @@ class SweepResult:
     ``cache_hits``/``cache_misses`` count *cells* against the on-disk cache;
     ``num_evaluations`` counts the fresh pipeline runs actually executed,
     which can be lower than ``cache_misses`` when per-scenario pins or
-    canonicalization collapse several cells onto one content key.
+    canonicalization collapse several cells onto one content key.  The
+    ``decomposition_*``/``synthesis_*`` counters track *stage* reuse among
+    the fresh evaluations: a simulator-axis sweep over N values should show
+    one search and N-1 reuses per scenario.
     """
 
     records: list[EvaluationRecord] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     num_evaluations: int = 0
+    decomposition_searches: int = 0
+    """Fresh decomposition searches actually run."""
+    decomposition_reuses: int = 0
+    """Evaluated cells whose decompose stage was served from the stage cache
+    (in-memory memo or on-disk artifact store)."""
+    synthesis_builds: int = 0
+    """Fresh synthesize/route stage executions."""
+    synthesis_reuses: int = 0
+    """Evaluated cells whose synthesized topology + routing were reused."""
 
     @property
     def num_cells(self) -> int:
+        """Number of planned cells (cached and evaluated alike)."""
         return len(self.records)
 
     @property
     def cache_hit_fraction(self) -> float:
+        """Fraction of cells answered by the on-disk result cache."""
         if self.num_cells == 0:
             return 0.0
         return self.cache_hits / self.num_cells
 
     def succeeded(self) -> list[EvaluationRecord]:
+        """The records whose full pipeline completed."""
         return [record for record in self.records if record.succeeded]
 
     def failed(self) -> list[EvaluationRecord]:
+        """The records that failed at some pipeline stage."""
         return [record for record in self.records if not record.succeeded]
 
+    def count_stage_reuse(self, records: Sequence[EvaluationRecord]) -> None:
+        """Accumulate the stage counters from freshly evaluated records."""
+        for record in records:
+            decompose = record.stage_reuse.get("decompose")
+            if decompose == STAGE_COMPUTED:
+                self.decomposition_searches += 1
+            elif decompose is not None:
+                self.decomposition_reuses += 1
+            synthesize = record.stage_reuse.get("synthesize")
+            if synthesize == STAGE_COMPUTED:
+                self.synthesis_builds += 1
+            elif synthesize is not None:
+                self.synthesis_reuses += 1
+
     def describe(self) -> str:
+        """Multi-line human-readable summary of cache and stage reuse."""
         shared = self.cache_misses - self.num_evaluations
         sharing = f" ({shared} duplicate cells shared an evaluation)" if shared else ""
-        return (
+        lines = [
             f"{self.num_cells} cells: {self.cache_hits} cached, "
             f"{self.num_evaluations} evaluated "
             f"({100.0 * self.cache_hit_fraction:.0f}% cache hits){sharing}; "
             f"{len(self.failed())} failures"
+        ]
+        if self.decomposition_searches or self.decomposition_reuses:
+            lines.append(
+                f"stage reuse: {self.decomposition_searches} decomposition "
+                f"search(es) shared by {self.decomposition_reuses} further cell(s); "
+                f"{self.synthesis_builds} topology build(s), "
+                f"{self.synthesis_reuses} reused"
+            )
+        return "\n".join(lines)
+
+
+#: the picklable per-cell payload shipped to worker processes
+CellPayload = tuple[Scenario, EvaluationSettings, dict[str, object], str]
+
+
+def _evaluate_cells(
+    cell_payloads: Sequence[CellPayload], context: StageContext
+) -> list[EvaluationRecord]:
+    """Evaluate cells in order under one stage context (shared by both the
+    serial path and the process-pool workers)."""
+    return [
+        evaluate(
+            scenario,
+            settings,
+            cache_key=key,
+            config_label=axis_label(axes),
+            axes=axes,
+            context=context,
         )
+        for scenario, settings, axes, key in cell_payloads
+    ]
 
 
-def _evaluate_cell(
-    payload: tuple[Scenario, EvaluationSettings, dict[str, object], str],
-) -> EvaluationRecord:
-    """Evaluate one cell (module-level so it pickles into worker processes)."""
-    scenario, settings, axes, key = payload
-    return evaluate(
-        scenario,
-        settings,
-        cache_key=key,
-        config_label=axis_label(axes),
-        axes=axes,
-    )
+def _evaluate_group(
+    payload: tuple[list[CellPayload], str | None],
+) -> list[EvaluationRecord]:
+    """Evaluate one stage group (module-level so it pickles into workers).
+
+    All cells of the group share a decomposition sub-key, so evaluating them
+    in one process under one :class:`StageContext` runs the search once; the
+    optional artifact directory extends the reuse across groups and runs.
+    """
+    cell_payloads, artifact_directory = payload
+    store = StageArtifactStore(artifact_directory) if artifact_directory else None
+    return _evaluate_cells(cell_payloads, StageContext(store))
 
 
 def run_sweep(
@@ -153,13 +238,18 @@ def run_sweep(
     cache: ResultCache | None = None,
     parallel: bool = False,
     max_workers: int | None = None,
+    artifacts: StageArtifactStore | str | Path | None = None,
 ) -> SweepResult:
     """Evaluate every (scenario, grid cell), reusing cached results.
 
     Records come back in plan order (scenario-major, then grid order)
     regardless of caching or parallelism, so serial and parallel sweeps are
-    interchangeable.
+    interchangeable.  ``artifacts`` optionally persists decomposition-stage
+    artifacts on disk so stage reuse extends across runs (and across worker
+    processes); without it, reuse is in-memory within this run only.
     """
+    if artifacts is not None and not isinstance(artifacts, StageArtifactStore):
+        artifacts = StageArtifactStore(artifacts)
     cells = plan_sweep(scenarios, base, axes)
     result = SweepResult()
     fresh: list[SweepCell] = []
@@ -179,13 +269,29 @@ def run_sweep(
             result.cache_hits += 1
     result.num_evaluations = len(fresh)
 
-    payloads = [(cell.scenario, cell.settings, cell.axes, cell.key) for cell in fresh]
+    groups: dict[str, list[SweepCell]] = {}
+    for cell in fresh:
+        groups.setdefault(cell.stage_group, []).append(cell)
+    artifact_directory = str(artifacts.directory) if artifacts is not None else None
+    payloads = [
+        (
+            [(cell.scenario, cell.settings, cell.axes, cell.key) for cell in group],
+            artifact_directory,
+        )
+        for group in groups.values()
+    ]
     if parallel and len(payloads) > 1:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            evaluated = list(pool.map(_evaluate_cell, payloads))
+            evaluated_groups = list(pool.map(_evaluate_group, payloads))
     else:
-        evaluated = [_evaluate_cell(payload) for payload in payloads]
+        # serial: one context shared across all groups maximizes reuse
+        context = StageContext(artifacts)
+        evaluated_groups = [
+            _evaluate_cells(cell_payloads, context) for cell_payloads, _ in payloads
+        ]
 
+    evaluated = [record for group in evaluated_groups for record in group]
+    result.count_stage_reuse(evaluated)
     for record in evaluated:
         slots[record.cache_key] = record
         if cache is not None:

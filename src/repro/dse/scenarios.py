@@ -151,6 +151,7 @@ class SuiteSpec:
     base_settings: EvaluationSettings = field(default_factory=EvaluationSettings)
 
     def build(self) -> list[Scenario]:
+        """Materialize the suite's scenarios (factories run lazily)."""
         return self.factory()
 
 
@@ -164,10 +165,12 @@ def register_suite(spec: SuiteSpec) -> SuiteSpec:
 
 
 def suite_names() -> list[str]:
+    """All registered suite names, sorted."""
     return sorted(_SUITES)
 
 
 def get_suite(name: str) -> SuiteSpec:
+    """Look a suite up by name (raises :class:`ConfigurationError`)."""
     try:
         return _SUITES[name]
     except KeyError as error:
@@ -177,6 +180,7 @@ def get_suite(name: str) -> SuiteSpec:
 
 
 def build_suite(name: str) -> list[Scenario]:
+    """Build the named suite's scenario list."""
     return get_suite(name).build()
 
 
@@ -205,6 +209,7 @@ def _grid_size(spec: SuiteSpec) -> int:
 
 
 def scenario_rows(scenarios: Sequence[Scenario]) -> list[dict[str, object]]:
+    """Summary rows (nodes, edges, traffic) for a scenario list."""
     rows = []
     for scenario in scenarios:
         acg: ApplicationGraph = scenario.acg

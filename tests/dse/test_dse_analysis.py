@@ -11,6 +11,8 @@ from repro.dse.analysis import (
     normalize_to_mesh,
     pareto_front,
     pareto_report,
+    stage_reuse_summary,
+    truncated_cells,
 )
 from repro.dse.records import EvaluationRecord
 from repro.dse.__main__ import main
@@ -141,6 +143,43 @@ class TestBaselineNormalization:
         assert pareto_report([]) == "(no records)"
 
 
+class TestTruncationFlagging:
+    def test_truncated_cells_are_flagged_not_silently_mixed(self):
+        mesh = _record("s", "mesh", 10, 2.0, 40)
+        truncated_winner = _record("s", "custom", 5, 1.0, 60)
+        truncated_winner.search_statistics = {"truncated": True, "nodes_expanded": 400}
+        records = [mesh, truncated_winner]
+        assert truncated_cells(records) == [truncated_winner]
+        assert truncated_winner.truncated_search
+        text = pareto_report(records)
+        assert "trunc" in text  # the marker column materialized
+        assert "hit the decomposition search budget" in text
+        assert "machine-speed-dependent" in text
+        # the truncated cell won the front: the stronger caveat fires too
+        assert "treat this frontier as approximate" in text
+
+    def test_clean_reports_carry_no_truncation_noise(self):
+        records = [_record("s", "mesh", 10, 2.0, 40), _record("s", "custom", 5, 1.0, 60)]
+        text = pareto_report(records)
+        assert "trunc" not in text
+        assert "machine-speed-dependent" not in text
+
+
+class TestStageReuseSummary:
+    def test_counts_by_stage_and_provenance(self):
+        first = _record("s", "custom", 5, 1.0, 60)
+        first.stage_reuse = {"decompose": "computed", "synthesize": "computed"}
+        second = _record("s", "custom", 6, 1.1, 58, key="other")
+        second.stage_reuse = {"decompose": "memory", "synthesize": "memory"}
+        mesh = _record("s", "mesh", 10, 2.0, 40)  # no stages: not counted
+        summary = stage_reuse_summary([first, second, mesh])
+        assert summary == {
+            "decompose": {"computed": 1, "memory": 1},
+            "synthesize": {"computed": 1, "memory": 1},
+        }
+        assert stage_reuse_summary([mesh]) == {}
+
+
 class TestCommandLine:
     def test_run_report_and_cache_hits(self, tmp_path, capsys):
         results = tmp_path / "results.jsonl"
@@ -148,7 +187,12 @@ class TestCommandLine:
         assert main(args) == 0
         first = capsys.readouterr().out
         assert "12 cells: 0 cached, 12 evaluated" in first
+        # the smoke grid sweeps a simulator axis (pipeline depth), so each
+        # scenario's two custom cells share one decomposition search
+        assert "stage reuse: 3 decomposition search(es)" in first
+        assert "stage artifacts:" in first
         assert results.exists()
+        assert (tmp_path / "stage_artifacts").is_dir()
 
         assert main(args) == 0
         second = capsys.readouterr().out
@@ -158,6 +202,17 @@ class TestCommandLine:
         report = capsys.readouterr().out
         assert "scenario: aes" in report
         assert "custom Pareto-dominates the mesh baseline" in report
+        assert "stage provenance" in report
+
+    def test_run_without_artifact_store(self, tmp_path, capsys):
+        results = tmp_path / "results.jsonl"
+        assert main(["run", "--suite", "smoke", "--results", str(results),
+                     "--no-artifacts"]) == 0
+        out = capsys.readouterr().out
+        assert "stage artifacts:" not in out
+        assert not (tmp_path / "stage_artifacts").exists()
+        # in-memory stage sharing still applies within the run
+        assert "stage reuse: 3 decomposition search(es)" in out
 
     def test_list_scenarios(self, capsys):
         assert main(["list-scenarios"]) == 0
