@@ -12,8 +12,16 @@ within +/-50% of the paper's 271 cycles/block.
 
 from __future__ import annotations
 
-from repro.experiments.comparison import PAPER_RESULTS, run_prototype_comparison
+import pytest
+
+from repro.experiments.comparison import (
+    PAPER_RESULTS,
+    default_simulator_config,
+    run_prototype_comparison,
+)
 from repro.experiments.reporting import format_table
+from repro.noc.simulator import ENGINE_REFERENCE
+from repro.noc.traffic import InjectionSchedule, acg_messages
 
 
 def test_table_throughput(benchmark, aes_synthesis_session):
@@ -41,3 +49,58 @@ def test_table_throughput(benchmark, aes_synthesis_session):
     assert 15.0 <= comparison.throughput_increase_percent <= 90.0
     paper_mesh_cycles = PAPER_RESULTS["mesh"]["cycles_per_block"]
     assert 0.5 * paper_mesh_cycles <= comparison.mesh.cycles_per_block <= 1.5 * paper_mesh_cycles
+
+
+@pytest.mark.smoke
+def test_throughput_open_loop_engine_speedup(engine_duel, aes_synthesis_session):
+    """Event-driven vs reference engine on the throughput characterization.
+
+    Open-loop ACG traffic at a sustained injection rate — the workload of a
+    throughput sweep towards saturation.  The event engine must produce a
+    bit-identical report while skipping the inter-injection dead time:
+    >=3x wall-clock or >=5x fewer stepped cycles (measured: both).
+    """
+    messages = acg_messages(aes_synthesis_session.acg, packet_size_bits=32) * 4
+    schedule = InjectionSchedule.periodic(messages, period_cycles=16, seed=2, jitter=2)
+    for fabric in ("mesh", "custom"):
+        duel = engine_duel(fabric, schedule.schedule_onto)
+        duel.assert_identical_reports()
+        print()
+        print("open-loop throughput:", duel.describe())
+        assert duel.wall_speedup >= 3.0 or duel.stepped_ratio >= 5.0, duel.describe()
+
+
+@pytest.mark.smoke
+def test_prototype_operating_point_engine_equivalence(aes_synthesis_session):
+    """At the paper's AES operating point the traffic is dense single-flit
+    bursts — little dead time to skip — so the contract here is exactness:
+    identical tables from both engines, with the idle/serialization gaps
+    that do exist (computation allowances, drain tails) skipped."""
+    results = {}
+    for engine in ("event", ENGINE_REFERENCE):
+        config = default_simulator_config()
+        config.engine = engine
+        results[engine] = run_prototype_comparison(
+            blocks=1, synthesis=aes_synthesis_session, simulator_config=config
+        )
+    event, reference = results["event"], results[ENGINE_REFERENCE]
+    for side in ("mesh", "custom"):
+        event_metrics = getattr(event, side)
+        reference_metrics = getattr(reference, side)
+        for field in (
+            "total_cycles",
+            "cycles_per_block",
+            "throughput_mbps",
+            "average_latency_cycles",
+            "average_hops",
+            "average_power_mw",
+            "energy_per_block_uj",
+            "max_channel_utilization",
+        ):
+            assert getattr(event_metrics, field) == getattr(reference_metrics, field), (
+                side,
+                field,
+            )
+        stepped_ratio = reference_metrics.cycles_stepped / event_metrics.cycles_stepped
+        print(f"{side}: operating-point stepped-cycle reduction {stepped_ratio:.2f}x")
+        assert stepped_ratio >= 1.3

@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Benchmark the NoC simulator engines and record the perf trajectory.
+
+Runs the prototype benchmark workloads (AES operating point, open-loop
+throughput, zero-load latency probes, multi-flit energy traffic) on both
+the event-driven and the reference engine, verifies their reports are
+bit-identical, and appends one entry per invocation to
+``BENCH_simulator.json`` (wall-clock, simulated cycles/sec, stepped-vs-
+skipped cycle counts) so the speedup trajectory is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_simulator.py                # smoke suite
+    PYTHONPATH=src python scripts/bench_simulator.py --suite full   # + custom AES
+    PYTHONPATH=src python scripts/bench_simulator.py --check        # CI gate
+
+``--check`` exits non-zero unless, on every workload, the two engines'
+reports are identical and the event engine executed strictly fewer cycles
+than the reference engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arch.mesh import build_mesh  # noqa: E402
+from repro.experiments.comparison import default_simulator_config  # noqa: E402
+from repro.noc.simulator import (  # noqa: E402
+    ENGINE_EVENT,
+    ENGINE_REFERENCE,
+    NoCSimulator,
+    SimulatorConfig,
+)
+from repro.noc.traffic import (  # noqa: E402
+    InjectionSchedule,
+    acg_messages,
+    uniform_random_messages,
+)
+from repro.routing.xy import xy_routing_function  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: repeat each (workload, engine) run this many times; the minimum wall
+#: time is recorded (least-noise estimator for CI runners)
+REPEATS = 3
+
+
+def mesh_fabric():
+    mesh = build_mesh(4, 4)
+    return mesh, xy_routing_function(mesh)
+
+
+def aes_fabric():
+    from repro.experiments.aes_experiment import run_aes_synthesis
+
+    synthesis = run_aes_synthesis()
+    architecture = synthesis.architecture
+    return architecture.topology, architecture.routing_table.frozen_next_hop()
+
+
+def aes_phase_runner(engine: str) -> dict[str, float]:
+    """The Section-5.2 operating point: dependency-aware AES phase traffic."""
+    from repro.experiments.aes_experiment import run_aes_synthesis
+    from repro.experiments.comparison import run_prototype_comparison
+
+    synthesis = run_aes_synthesis()
+    config = default_simulator_config()
+    config.engine = engine
+    best_wall = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        comparison = run_prototype_comparison(
+            blocks=2, synthesis=synthesis, simulator_config=config
+        )
+        wall = time.perf_counter() - start
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+    cycles_total = comparison.mesh.total_cycles + comparison.custom.total_cycles
+    cycles_stepped = comparison.mesh.cycles_stepped + comparison.custom.cycles_stepped
+    return {
+        "wall_seconds": best_wall,
+        "cycles_total": cycles_total,
+        "cycles_stepped": cycles_stepped,
+        "report": {
+            "mesh_cycles_per_block": comparison.mesh.cycles_per_block,
+            "custom_cycles_per_block": comparison.custom.cycles_per_block,
+            "mesh_energy_uj": comparison.mesh.energy_per_block_uj,
+            "custom_energy_uj": comparison.custom.energy_per_block_uj,
+        },
+    }
+
+
+def drained_runner(fabric_builder, schedule_builder):
+    """A runner that drains one open-loop schedule on one fabric."""
+
+    def run(engine: str) -> dict[str, float]:
+        best = None
+        for _ in range(REPEATS):
+            topology, routing = fabric_builder()
+            simulator = NoCSimulator(
+                topology,
+                routing,
+                config=SimulatorConfig(engine=engine, router_pipeline_delay_cycles=2),
+            )
+            schedule_builder(topology).schedule_onto(simulator)
+            start = time.perf_counter()
+            simulator.run_until_drained()
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, simulator)
+        wall, simulator = best
+        return {
+            "wall_seconds": wall,
+            "cycles_total": simulator.current_cycle,
+            "cycles_stepped": simulator.cycles_stepped,
+            "report": simulator.report(),
+        }
+
+    return run
+
+
+def uniform_schedule(period: int, count: int = 400, size_bits: int = 256, seed: int = 7):
+    def build(topology):
+        messages = uniform_random_messages(
+            topology.routers(), count, size_bits=size_bits, seed=seed
+        )
+        return InjectionSchedule.periodic(messages, period, seed=seed, jitter=4)
+
+    return build
+
+
+def acg_schedule(period: int, packet_size_bits: int = 32, repeats: int = 4, seed: int = 2):
+    def build(topology):
+        from repro.experiments.aes_experiment import run_aes_synthesis
+
+        messages = acg_messages(
+            run_aes_synthesis().acg, packet_size_bits=packet_size_bits
+        ) * repeats
+        return InjectionSchedule.periodic(messages, period, seed=seed, jitter=2)
+
+    return build
+
+
+def workload_suite(suite: str) -> dict[str, object]:
+    """Named workload -> runner(engine) -> measurement dict."""
+    workloads: dict[str, object] = {
+        "uniform_open_loop": drained_runner(mesh_fabric, uniform_schedule(period=12)),
+        "uniform_saturating": drained_runner(mesh_fabric, uniform_schedule(period=4, size_bits=128)),
+        "latency_probes": drained_runner(
+            mesh_fabric, uniform_schedule(period=40, count=100, size_bits=32)
+        ),
+    }
+    if suite == "full":
+        workloads["aes_prototype"] = aes_phase_runner
+        workloads["custom_open_loop"] = drained_runner(aes_fabric, acg_schedule(period=16))
+        workloads["custom_multiflit"] = drained_runner(
+            aes_fabric, acg_schedule(period=20, packet_size_bits=512)
+        )
+    return workloads
+
+
+def run_suite(suite: str) -> dict[str, dict[str, object]]:
+    results: dict[str, dict[str, object]] = {}
+    for name, runner in workload_suite(suite).items():
+        measurements = {}
+        for engine in (ENGINE_EVENT, ENGINE_REFERENCE):
+            measurement = runner(engine)
+            cycles = measurement["cycles_total"]
+            stepped = measurement["cycles_stepped"]
+            wall = measurement["wall_seconds"]
+            measurements[engine] = {
+                "wall_seconds": round(wall, 6),
+                "cycles_total": cycles,
+                "cycles_stepped": stepped,
+                "cycles_skipped": cycles - stepped,
+                "simulated_cycles_per_second": round(cycles / wall, 1),
+                "stepped_cycles_per_second": round(stepped / wall, 1),
+                "_report": measurement["report"],
+            }
+        event, reference = measurements[ENGINE_EVENT], measurements[ENGINE_REFERENCE]
+        identical = event.pop("_report") == reference.pop("_report")
+        results[name] = {
+            "event": event,
+            "reference": reference,
+            "identical_reports": identical,
+            "wall_speedup": round(
+                reference["wall_seconds"] / max(event["wall_seconds"], 1e-9), 2
+            ),
+            "stepped_cycle_ratio": round(
+                reference["cycles_stepped"] / max(event["cycles_stepped"], 1), 2
+            ),
+        }
+    return results
+
+
+def check(results: dict[str, dict[str, object]]) -> list[str]:
+    """CI gate: identical reports + fewer stepped cycles, per workload."""
+    failures = []
+    for name, result in results.items():
+        if not result["identical_reports"]:
+            failures.append(f"{name}: engine reports differ")
+        if result["event"]["cycles_stepped"] >= result["reference"]["cycles_stepped"]:
+            failures.append(
+                f"{name}: event engine stepped {result['event']['cycles_stepped']} "
+                f">= reference {result['reference']['cycles_stepped']}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("smoke", "full"), default="smoke")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--label", default="", help="trajectory entry label")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the event engine beats the reference "
+        "engine on stepped cycles with identical reports",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print only"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.suite)
+    for name, result in results.items():
+        print(
+            f"{name:20s} wall {result['wall_speedup']:6.2f}x  "
+            f"stepped {result['stepped_cycle_ratio']:6.2f}x  "
+            f"event {result['event']['simulated_cycles_per_second']:>12,.0f} cyc/s  "
+            f"reference {result['reference']['simulated_cycles_per_second']:>12,.0f} cyc/s  "
+            f"identical={result['identical_reports']}"
+        )
+
+    if not args.no_write:
+        payload = {"entries": []}
+        if args.output.exists():
+            try:
+                payload = json.loads(args.output.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                pass
+        payload.setdefault("entries", []).append(
+            {
+                "label": args.label or f"{args.suite} run",
+                "suite": args.suite,
+                "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                "workloads": results,
+            }
+        )
+        args.output.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"trajectory written to {args.output}")
+
+    if args.check:
+        failures = check(results)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,8 +68,11 @@ from repro.exceptions import ReproError
 #: bump when the pipeline's measurement semantics change incompatibly, so
 #: stale caches are invalidated wholesale instead of silently misread
 #: (version 2: stage-granular pipeline — records carry ``stage_reuse``,
-#: decompositions are shared across simulator-axis sweep cells)
-PIPELINE_VERSION = 2
+#: decompositions are shared across simulator-axis sweep cells;
+#: version 3: event-driven simulator — settings grew the ``engine`` knob,
+#: records carry ``sim_cycles_stepped``, and energy is batch-flushed, which
+#: can move link-energy floats by an ulp relative to per-hop charging)
+PIPELINE_VERSION = 3
 
 #: bump when the decomposition artifact serialization changes shape
 DECOMPOSITION_ARTIFACT_FORMAT = 1

@@ -75,11 +75,11 @@ from repro.exceptions import (
     SimulationError,
     SynthesisError,
 )
-from repro.noc.simulator import NoCSimulator, SimulatorConfig
+from repro.noc.simulator import ENGINE_EVENT, ENGINES, NoCSimulator, SimulatorConfig
 from repro.noc.stats import throughput_mbps_from_cycles
 from repro.noc.traffic import acg_messages
 from repro.routing.deadlock import analyze_deadlock
-from repro.routing.xy import xy_next_hop
+from repro.routing.xy import xy_routing_function
 
 NodeId = Hashable
 RoutingFunction = Callable[[NodeId, NodeId], NodeId]
@@ -139,6 +139,8 @@ class EvaluationSettings:
     router_pipeline_delay_cycles: int = 1
     buffer_capacity_packets: int = 4
     max_cycles: int = 100_000
+    engine: str = ENGINE_EVENT
+    """Simulator engine: ``"event"`` (skip dead time) or ``"reference"``."""
 
     def __post_init__(self) -> None:
         if self.architecture not in ("custom", "mesh"):
@@ -150,6 +152,10 @@ class EvaluationSettings:
         if self.library not in LIBRARIES:
             raise ConfigurationError(
                 f"unknown library {self.library!r}; available: {sorted(LIBRARIES)}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown simulator engine {self.engine!r} (use one of {ENGINES})"
             )
 
     def as_dict(self) -> dict[str, object]:
@@ -197,6 +203,7 @@ class EvaluationSettings:
         "router_pipeline_delay_cycles",
         "buffer_capacity_packets",
         "max_cycles",
+        "engine",
     )
 
     #: fields the synthesize/route stages read on top of the decomposition
@@ -270,6 +277,7 @@ class EvaluationSettings:
             buffer_capacity_packets=self.buffer_capacity_packets,
             router_pipeline_delay_cycles=self.router_pipeline_delay_cycles,
             max_cycles=self.max_cycles,
+            engine=self.engine,
         )
 
     def build_technology(self) -> Technology:
@@ -381,6 +389,12 @@ class ArchitectureMetrics:
     energy_per_block_uj: float
     num_physical_links: int
     max_channel_utilization: float
+    engine: str = ENGINE_EVENT
+    """Which simulator engine produced these figures (provenance only —
+    both engines yield identical metrics by contract)."""
+    cycles_stepped: int = 0
+    """Cycles the engine actually executed; ``total_cycles`` minus this is
+    the dead time the event engine skipped."""
 
     def as_dict(self) -> dict[str, object]:
         """Reporting-row view of the measured figures of merit."""
@@ -433,6 +447,8 @@ def simulate_aes_traffic(
         energy_per_block_uj=simulator.energy.total_energy_uj / blocks,
         num_physical_links=topology.num_physical_links,
         max_channel_utilization=simulator.statistics.max_channel_utilization(),
+        engine=simulator.config.engine,
+        cycles_stepped=simulator.cycles_stepped,
     )
 
 
@@ -470,6 +486,8 @@ def simulate_acg_traffic(
         energy_per_block_uj=simulator.energy.total_energy_uj / repetitions,
         num_physical_links=topology.num_physical_links,
         max_channel_utilization=simulator.statistics.max_channel_utilization(),
+        engine=simulator.config.engine,
+        cycles_stepped=simulator.cycles_stepped,
     )
 
 
@@ -614,8 +632,15 @@ def simulate_stage(
 
 
 def score_stage(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, float]:
-    """Stage 5: flatten measured metrics into the record's figures of merit."""
+    """Stage 5: flatten measured metrics into the record's figures of merit.
+
+    ``sim_cycles_stepped`` is engine provenance: together with
+    ``total_cycles`` it says how much dead time the configured simulator
+    engine skipped for this cell (the engine name itself sits in the
+    record's ``settings["engine"]``).
+    """
     return {
+        "sim_cycles_stepped": float(metrics.cycles_stepped),
         "total_cycles": float(metrics.total_cycles),
         "cycles_per_iteration": metrics.cycles_per_block,
         "avg_latency_cycles": metrics.average_latency_cycles,
@@ -706,14 +731,12 @@ def evaluate(
                 flit_width_bits=settings.flit_width_bits,
             )
             topology: Topology = mesh
-            routing: RoutingFunction = (
-                lambda current, destination: xy_next_hop(mesh, current, destination)
-            )
+            routing: RoutingFunction = xy_routing_function(mesh)
             name = mesh.name
         else:
             architecture = _synthesize_custom(scenario, settings, record, context)
             topology = architecture.topology
-            routing = architecture.routing_table.next_hop
+            routing = architecture.routing_table.frozen_next_hop()
             name = architecture.topology.name
         metrics = simulate_stage(scenario, settings, name, topology, routing)
         record.metrics.update(score_stage(metrics, topology))

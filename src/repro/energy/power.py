@@ -29,6 +29,10 @@ class EnergyAccount:
     """(bits, link_length_mm) pairs for every link traversal batch."""
     _link_energy_pj: float = 0.0
     _leakage_pj: float = 0.0
+    _link_model: LinkEnergyModel | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    """Lazily built per-technology link model, shared by every charge."""
 
     # ------------------------------------------------------------------
     # charging
@@ -40,11 +44,13 @@ class EnergyAccount:
         self.switch_events_bits += bits
 
     def charge_link(self, bits: float, length_mm: float) -> None:
-        """Charge one link traversal of ``bits`` bits over ``length_mm``."""
+        """Charge one link-traversal batch of ``bits`` bits over ``length_mm``."""
         if bits < 0:
             raise EnergyModelError("cannot charge a negative number of bits")
+        if self._link_model is None:
+            self._link_model = LinkEnergyModel(self.technology)
         self.link_events.append((bits, length_mm))
-        self._link_energy_pj += bits * LinkEnergyModel(self.technology).link_energy_pj(length_mm)
+        self._link_energy_pj += bits * self._link_model.link_energy_pj(length_mm)
 
     def charge_hop(self, bits: float, length_mm: float) -> None:
         """Charge one switch traversal plus the outgoing link traversal."""

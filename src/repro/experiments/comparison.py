@@ -37,7 +37,7 @@ from repro.energy.technology import FPGA_VIRTEX2, Technology
 from repro.experiments.aes_experiment import AesSynthesisResult, run_aes_synthesis
 from repro.experiments.reporting import format_table, percentage_change
 from repro.noc.simulator import SimulatorConfig
-from repro.routing.xy import xy_next_hop
+from repro.routing.xy import xy_routing_function
 
 #: paper-reported reference numbers (Section 5.2)
 PAPER_RESULTS = {
@@ -162,7 +162,7 @@ def evaluate_mesh(
     return simulate_aes_traffic(
         "mesh_4x4",
         mesh,
-        lambda current, destination: xy_next_hop(mesh, current, destination),
+        xy_routing_function(mesh),
         blocks,
         technology,
         config,
@@ -183,7 +183,7 @@ def evaluate_custom(
     return simulate_aes_traffic(
         architecture.topology.name,
         architecture.topology,
-        table.next_hop,
+        table.frozen_next_hop(),
         blocks,
         technology,
         config,

@@ -3,7 +3,13 @@
 from repro.noc.network import Network
 from repro.noc.packet import Message, Packet
 from repro.noc.router import LOCAL_PORT, InputBuffer, Router
-from repro.noc.simulator import NoCSimulator, SimulatorConfig
+from repro.noc.simulator import (
+    ENGINE_EVENT,
+    ENGINE_REFERENCE,
+    ENGINES,
+    NoCSimulator,
+    SimulatorConfig,
+)
 from repro.noc.stats import SimulationStatistics, throughput_mbps_from_cycles
 from repro.noc.traffic import (
     InjectionSchedule,
@@ -23,6 +29,9 @@ __all__ = [
     "Network",
     "NoCSimulator",
     "SimulatorConfig",
+    "ENGINE_EVENT",
+    "ENGINE_REFERENCE",
+    "ENGINES",
     "SimulationStatistics",
     "throughput_mbps_from_cycles",
     "acg_messages",

@@ -43,7 +43,8 @@ class Network:
         pipeline_delay_cycles: int = 1,
     ) -> None:
         self.topology = topology
-        self.routing = routing
+        self._routing = routing
+        self._route_cache: dict[tuple[NodeId, NodeId], NodeId] = {}
         self.pipeline_delay_cycles = pipeline_delay_cycles
         self.routers: dict[NodeId, Router] = {
             node: Router(
@@ -59,6 +60,10 @@ class Network:
             (channel.source, channel.target): 0 for channel in topology.channels()
         }
         self.in_flight: list[InFlight] = []
+        self._next_arrival: int | None = None
+        """Incrementally maintained min arrival cycle over ``in_flight``
+        (updated on launch and on every delivery pass), so the event engine
+        never scans the in-flight list to find its next event."""
 
     # ------------------------------------------------------------------
     # queries
@@ -69,13 +74,36 @@ class Network:
         except KeyError as error:
             raise SimulationError(f"no router {node!r} in the network") from error
 
+    @property
+    def routing(self) -> RoutingFunction:
+        return self._routing
+
+    @routing.setter
+    def routing(self, routing: RoutingFunction) -> None:
+        """Swap the routing function, dropping every memoized decision."""
+        self._routing = routing
+        self._route_cache.clear()
+
     def next_hop(self, current: NodeId, destination: NodeId) -> NodeId:
-        next_hop = self.routing(current, destination)
+        """The (memoized) routing decision for a packet at ``current``.
+
+        Routing functions must be deterministic and stateless in
+        ``(current, destination)`` — every routing adapter in the library is
+        — so each decision is resolved and channel-validated once and then
+        served from a flat per-pair table, instead of re-invoking the
+        routing closure for every nomination of every cycle.
+        """
+        key = (current, destination)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        next_hop = self._routing(current, destination)
         if not self.topology.has_channel(current, next_hop):
             raise SimulationError(
                 f"routing function returned {next_hop!r} from {current!r} towards "
                 f"{destination!r}, but that channel does not exist"
             )
+        self._route_cache[key] = next_hop
         return next_hop
 
     def is_idle(self) -> bool:
@@ -86,6 +114,27 @@ class Network:
 
     def buffered_packets(self) -> int:
         return sum(router.occupancy() for router in self.routers.values())
+
+    def next_arrival_cycle(self) -> int | None:
+        """Earliest cycle at which an in-flight packet can arrive, if any."""
+        return self._next_arrival
+
+    def stuck_packets(self) -> list[tuple[Packet, NodeId]]:
+        """Every undelivered packet with the router it is at (or flying to).
+
+        Used by the drain-budget error so routing-loop and deadlock triage
+        can name the culprits (id, position, destination, hops so far)
+        without a debugger.  Sorted by packet id for stable messages.
+        """
+        stuck: list[tuple[Packet, NodeId]] = []
+        for node, router in self.routers.items():
+            for port in router.ports():
+                for packet in router.buffer(port).queue:
+                    stuck.append((packet, node))
+        for flight in self.in_flight:
+            stuck.append((flight.packet, flight.downstream))
+        stuck.sort(key=lambda item: item[0].packet_id)
+        return stuck
 
     def channel_length_mm(self, source: NodeId, target: NodeId) -> float:
         return self.topology.channel(source, target).length_mm
@@ -105,25 +154,42 @@ class Network:
                 arrival_cycle=arrival_cycle,
             )
         )
+        if self._next_arrival is None or arrival_cycle < self._next_arrival:
+            self._next_arrival = arrival_cycle
 
-    def deliver_arrivals(self, cycle: int) -> None:
+    def deliver_arrivals(self, cycle: int) -> list[NodeId]:
         """Move in-flight packets whose transfer has completed into the
-        downstream input buffers (retrying next cycle when the buffer is full)."""
+        downstream input buffers (retrying next cycle when the buffer is
+        full).  Returns the routers that received a packet this cycle, which
+        is what the event-driven engine uses to (re-)activate them."""
+        if self._next_arrival is not None and self._next_arrival > cycle:
+            return []
         still_flying: list[InFlight] = []
+        receivers: list[NodeId] = []
+        next_arrival: int | None = None
         for flight in self.in_flight:
             if flight.arrival_cycle > cycle:
                 still_flying.append(flight)
-                continue
-            downstream = self.router(flight.downstream)
-            if downstream.can_accept(flight.upstream):
-                downstream.accept(flight.upstream, flight.packet)
             else:
+                downstream = self.router(flight.downstream)
+                if downstream.can_accept(flight.upstream):
+                    downstream.accept(flight.upstream, flight.packet)
+                    receivers.append(flight.downstream)
+                    continue
                 flight.arrival_cycle = cycle + 1
                 still_flying.append(flight)
+            if next_arrival is None or flight.arrival_cycle < next_arrival:
+                next_arrival = flight.arrival_cycle
         self.in_flight = still_flying
+        self._next_arrival = next_arrival
+        return receivers
 
     def output_request(self, router_node: NodeId, packet: Packet) -> object:
         """The output a head packet requests at ``router_node``."""
-        if packet.destination == router_node:
+        destination = packet.message.destination
+        if destination == router_node:
             return LOCAL_PORT
-        return self.next_hop(router_node, packet.destination)
+        hop = self._route_cache.get((router_node, destination))
+        if hop is not None:
+            return hop
+        return self.next_hop(router_node, destination)

@@ -67,6 +67,9 @@ class Router:
         self._buffers: dict[object, InputBuffer] = {
             LOCAL_PORT: InputBuffer(capacity_packets=10**9)  # injection queue is unbounded
         }
+        self._scan_order: tuple[tuple[object, InputBuffer], ...] = tuple(
+            self._buffers.items()
+        )
         self._round_robin_pointer = 0
 
     # ------------------------------------------------------------------
@@ -75,6 +78,7 @@ class Router:
     def add_input_port(self, upstream: NodeId) -> None:
         if upstream not in self._buffers:
             self._buffers[upstream] = InputBuffer(self.buffer_capacity_packets)
+            self._scan_order = tuple(self._buffers.items())
 
     def buffer(self, port: object) -> InputBuffer:
         try:
@@ -100,32 +104,55 @@ class Router:
 
     def occupancy(self) -> int:
         """Total packets currently buffered (all ports)."""
-        return sum(len(buffer) for buffer in self._buffers.values())
+        return sum(len(buffer.queue) for _, buffer in self._scan_order)
+
+    def occupied_heads(self) -> list[tuple[object, Packet]]:
+        """``(port, head packet)`` for every occupied port, in port order."""
+        return [(port, buffer.queue[0]) for port, buffer in self._scan_order if buffer.queue]
 
     # ------------------------------------------------------------------
     # arbitration
     # ------------------------------------------------------------------
-    def nominate(self, wants_output) -> dict[object, object]:
+    def nominate_at(self, pointer: int, wants_output) -> dict[object, object]:
         """Pick, per output, the input port whose head packet wins this cycle.
 
         ``wants_output(packet)`` maps a head packet to the output it requests
         (the next-hop router id, or ``LOCAL_PORT`` for delivery).  Returns a
         mapping ``{output: input_port}`` with at most one winner per output,
-        chosen by a rotating round-robin over the input ports.
+        chosen by a round-robin scan starting at ``pointer`` (mod the number
+        of ports).  The scan itself is stateless: the simulator derives the
+        pointer from the current cycle, which keeps arbitration fair without
+        requiring the router to be visited on cycles where it has no work.
         """
-        ports = self.ports()
-        if not ports:
+        pairs = self._scan_order
+        count = len(pairs)
+        if not count:  # pragma: no cover - the local port always exists
             return {}
         winners: dict[object, object] = {}
-        order = ports[self._round_robin_pointer :] + ports[: self._round_robin_pointer]
-        for port in order:
-            head = self._buffers[port].head()
-            if head is None:
+        start = pointer % count
+        # scan start, start+1, ..., wrapping around: index i - count is the
+        # same element for i < count (negative indexing) and for i >= count
+        for i in range(start - count, start):
+            port, buffer = pairs[i]
+            queue = buffer.queue
+            if not queue:
                 continue
-            output = wants_output(head)
+            output = wants_output(queue[0])
             if output not in winners:
                 winners[output] = port
-        self._round_robin_pointer = (self._round_robin_pointer + 1) % len(ports)
+        return winners
+
+    def nominate(self, wants_output) -> dict[object, object]:
+        """:meth:`nominate_at` driven by an internal rotating pointer.
+
+        Kept for callers that arbitrate a router in isolation; the simulator
+        engines use :meth:`nominate_at` with a cycle-derived pointer (for a
+        simulation stepped contiguously from cycle 0 the two are identical,
+        since the dense loop nominates exactly once per router per cycle).
+        """
+        winners = self.nominate_at(self._round_robin_pointer, wants_output)
+        if self._buffers:
+            self._round_robin_pointer = (self._round_robin_pointer + 1) % len(self._buffers)
         return winners
 
     def __repr__(self) -> str:

@@ -48,6 +48,15 @@ class SimulationStatistics:
     def delivered_count(self) -> int:
         return len(self.delivered_packets)
 
+    def delivery_cycles(self) -> dict[int, int | None]:
+        """Per-packet delivery cycle keyed by packet id.
+
+        The engine-equivalence contract is defined over this mapping (plus
+        :meth:`summary`): the event-driven and reference engines must agree
+        on every packet's delivery cycle, not just on the aggregates.
+        """
+        return {packet.packet_id: packet.delivery_cycle for packet in self.delivered_packets}
+
     @property
     def all_delivered(self) -> bool:
         return self.delivered_count == self.injected_count

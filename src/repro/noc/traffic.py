@@ -154,6 +154,16 @@ class InjectionSchedule:
             entries.append((index * period_cycles + offset, message))
         return cls(entries=tuple(entries))
 
+    def schedule_onto(self, simulator) -> None:
+        """Schedule every entry at its injection cycle on a simulator.
+
+        Open-loop schedules with long inter-injection gaps are where the
+        event-driven engine's idle-cycle skipping pays off most; this helper
+        keeps the call sites one-liners.
+        """
+        for cycle, message in self.entries:
+            simulator.schedule_message(message, cycle=cycle)
+
     def __iter__(self):
         return iter(self.entries)
 

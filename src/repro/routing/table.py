@@ -10,7 +10,7 @@ table *construction* lives in :mod:`repro.core.routing_table` (synthesis) and
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass, field
 
 from repro.arch.topology import Topology
@@ -76,6 +76,32 @@ class RoutingTable:
 
     def has_route(self, router: NodeId, destination: NodeId) -> bool:
         return router == destination or (router, destination) in self._next_hop
+
+    def frozen_next_hop(self) -> "Callable[[NodeId, NodeId], NodeId]":
+        """Snapshot the table into a flat, validation-free routing function.
+
+        The returned callable answers from a plain dict copied at freeze
+        time — no topology lookups, no attribute chases — which is what the
+        simulator engines want as their routing source.  Later mutations of
+        this table are deliberately not visible through the snapshot.  Raises
+        the same :class:`RoutingError` messages as :meth:`next_hop` for
+        missing entries.
+        """
+        entries = dict(self._next_hop)
+
+        def next_hop(router: NodeId, destination: NodeId) -> NodeId:
+            try:
+                return entries[(router, destination)]
+            except KeyError:
+                if router == destination:
+                    raise RoutingError(
+                        "a packet at its destination needs no next hop"
+                    ) from None
+                raise RoutingError(
+                    f"router {router!r} has no route towards {destination!r}"
+                ) from None
+
+        return next_hop
 
     def route(self, source: NodeId, destination: NodeId, max_hops: int | None = None) -> list[NodeId]:
         """Follow the table from ``source`` to ``destination``; detect loops."""

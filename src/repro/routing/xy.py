@@ -10,7 +10,7 @@ is acyclic and the routing is deadlock-free without virtual channels.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
 
 from repro.arch.mesh import MeshTopology
 from repro.exceptions import RoutingError
@@ -30,6 +30,32 @@ def xy_next_hop(mesh: MeshTopology, current: NodeId, destination: NodeId) -> Nod
         return mesh.node_at(current_coords.row, current_coords.column + step)
     step = 1 if destination_coords.row > current_coords.row else -1
     return mesh.node_at(current_coords.row + step, current_coords.column)
+
+
+def xy_routing_function(mesh: MeshTopology) -> "Callable[[NodeId, NodeId], NodeId]":
+    """Precompute every XY decision into a flat per-(node, destination) table.
+
+    XY routing is a pure function of the two routers' grid coordinates, so
+    the whole decision table can be materialized once at construction and
+    served as dict lookups — the simulator then never re-derives coordinates
+    per nomination.  Pairs outside the precomputed set (e.g. routers added
+    to the mesh afterwards) fall back to :func:`xy_next_hop`, preserving its
+    error behaviour.
+    """
+    table: dict[tuple[NodeId, NodeId], NodeId] = {}
+    routers = mesh.routers()
+    for source in routers:
+        for destination in routers:
+            if source != destination:
+                table[(source, destination)] = xy_next_hop(mesh, source, destination)
+
+    def next_hop(current: NodeId, destination: NodeId) -> NodeId:
+        hop = table.get((current, destination))
+        if hop is not None:
+            return hop
+        return xy_next_hop(mesh, current, destination)
+
+    return next_hop
 
 
 def xy_route(mesh: MeshTopology, source: NodeId, destination: NodeId) -> list[NodeId]:
