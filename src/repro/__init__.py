@@ -7,10 +7,12 @@ The public API is organised in subpackages:
   decomposition, and topology synthesis (the paper's contribution).
 * :mod:`repro.energy` — Equation-1 bit-energy model, technology points and
   traffic-driven power accounting.
-* :mod:`repro.arch` — topology abstraction, mesh baseline, customized
-  topologies and structural metrics.
-* :mod:`repro.routing` — shortest paths, table routing, XY routing and
-  deadlock analysis.
+* :mod:`repro.arch` — topology abstraction, the standard-fabric family
+  registry (mesh, torus, ring, spidergon, fat tree, long-range mesh),
+  customized topologies and structural metrics.
+* :mod:`repro.routing` — shortest paths, table routing, the routing-policy
+  registry (XY/YX, turn models, dateline, up*/down*, shortest path) and
+  CDG deadlock analysis.
 * :mod:`repro.noc` — cycle-based NoC simulator used for the prototype-style
   throughput / latency / energy comparison.
 * :mod:`repro.floorplan` — simple floorplanner providing core coordinates.

@@ -1,7 +1,23 @@
-"""Architecture substrate: topology abstraction, mesh baseline, customized
+"""Architecture substrate: topology abstraction, standard fabric families
+(mesh, torus, ring, spidergon, fat tree, long-range mesh), customized
 topologies and structural metrics."""
 
 from repro.arch.custom import ChannelOrigin, CustomTopology
+from repro.arch.families import (
+    FamilySpec,
+    FatTreeTopology,
+    LongRangeMeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    TorusTopology,
+    build_fabric,
+    family_names,
+    get_family,
+    infrastructure_router,
+    most_square_grid,
+    pad_node_ids,
+    register_family,
+)
 from repro.arch.mesh import MeshCoordinates, MeshTopology, build_mesh
 from repro.arch.metrics import (
     BisectionResult,
@@ -23,6 +39,19 @@ __all__ = [
     "build_mesh",
     "CustomTopology",
     "ChannelOrigin",
+    "FamilySpec",
+    "TorusTopology",
+    "RingTopology",
+    "SpidergonTopology",
+    "FatTreeTopology",
+    "LongRangeMeshTopology",
+    "register_family",
+    "family_names",
+    "get_family",
+    "build_fabric",
+    "most_square_grid",
+    "pad_node_ids",
+    "infrastructure_router",
     "TopologyReport",
     "BisectionResult",
     "topology_report",

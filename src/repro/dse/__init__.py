@@ -56,6 +56,8 @@ from repro.dse.pipeline import (
     ArchitectureMetrics,
     EvaluationSettings,
     Scenario,
+    baseline_route_stage,
+    build_baseline_fabric,
     build_baseline_mesh,
     decompose_stage,
     evaluate,
@@ -117,6 +119,8 @@ __all__ = [
     "simulate_aes_traffic",
     "simulate_acg_traffic",
     "build_baseline_mesh",
+    "build_baseline_fabric",
+    "baseline_route_stage",
     "STATUS_OK",
     "STATUS_DECOMPOSITION_FAILED",
     "STATUS_SYNTHESIS_FAILED",

@@ -1,11 +1,13 @@
-"""Command-line entry point: ``python -m repro.dse <run|report|list-scenarios>``.
+"""Command-line entry point: ``python -m repro.dse <run|report|list-scenarios|list-fabrics>``.
 
 Examples::
 
     python -m repro.dse list-scenarios
-    python -m repro.dse list-scenarios --suite embedded
+    python -m repro.dse list-fabrics
     python -m repro.dse run --suite smoke
     python -m repro.dse run --suite random --parallel --axis library=default,extended
+    python -m repro.dse run --suite fabrics --topology mesh,torus,ring \\
+        --routing-policy xy,dateline,up_down
     python -m repro.dse report
     python -m repro.dse report --suite smoke --csv sweep.csv
 
@@ -13,8 +15,12 @@ Examples::
 evaluate new cells, and cells differing only in simulator axes share one
 decomposition through the stage-artifact store); ``report`` prints
 per-scenario Pareto tables with mesh-normalized columns from the cached
-results, flagging budget-truncated cells.  A worked end-to-end example
-lives in ``docs/dse.md``.
+results, surfacing the deadlock-gate provenance (``deadlock_free`` /
+``vc_channels_needed``) and flagging budget-truncated cells;
+``list-fabrics`` prints the topology-family and routing-policy registries
+with their compatibility/deadlock matrix.  A worked end-to-end example
+lives in ``docs/dse.md``; the fabric axes are documented in
+``docs/topologies.md``.
 """
 
 from __future__ import annotations
@@ -81,6 +87,12 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     scenarios = spec.build()
     axes = dict(spec.default_axes)
     axes.update(_parse_axes(arguments.axis))
+    if arguments.topology:
+        axes["topology"] = [value for value in arguments.topology.split(",") if value]
+    if arguments.routing_policy:
+        axes["routing_policy"] = [
+            value for value in arguments.routing_policy.split(",") if value
+        ]
     cache = ResultCache(arguments.results)
     artifacts = _artifact_store(arguments)
     result = run_sweep(
@@ -139,6 +151,64 @@ def _cmd_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_fabrics(arguments: argparse.Namespace) -> int:
+    from repro.arch.families import family_names, get_family, pad_node_ids
+    from repro.experiments.reporting import format_table
+    from repro.routing.policies import get_policy, policy_names, supported_policies
+
+    probe_cores = arguments.cores
+    family_rows = []
+    fabrics = {}
+    for name in family_names():
+        spec = get_family(name)
+        fabric = spec.build(pad_node_ids(spec, range(1, probe_cores + 1)))
+        fabrics[name] = fabric
+        family_rows.append(
+            {
+                "family": name,
+                "routers": fabric.num_routers,
+                "links": fabric.num_physical_links,
+                "max_degree": fabric.max_degree(),
+                "description": spec.description,
+            }
+        )
+    print(format_table(family_rows, title=f"topology families ({probe_cores} cores)"))
+
+    policy_rows = [
+        {
+            "policy": name,
+            "deadlock_free": get_policy(name).deadlock_free_by_construction,
+            "minimal_on": ",".join(get_policy(name).minimal_families) or "-",
+            "description": get_policy(name).description,
+        }
+        for name in policy_names()
+    ]
+    print()
+    print(format_table(policy_rows, title="routing policies"))
+
+    matrix_rows = []
+    for family, fabric in fabrics.items():
+        row: dict[str, object] = {"family": family}
+        supported = set(supported_policies(fabric))
+        for policy in policy_names():
+            if policy not in supported:
+                row[policy] = "-"
+            elif get_policy(policy).deadlock_free_by_construction:
+                row[policy] = "free"
+            else:
+                row[policy] = "gate"
+        matrix_rows.append(row)
+    print()
+    print(format_table(
+        matrix_rows,
+        title="compatibility (free: deadlock-free by construction; "
+        "gate: CDG gate decides per workload)",
+    ))
+    print("\nsweep these axes with: python -m repro.dse run --suite fabrics "
+          "--topology NAME,... --routing-policy NAME,...")
+    return 0
+
+
 def _cmd_list_scenarios(arguments: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
 
@@ -187,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override/add a grid axis; repeatable; values are "
                           "coerced to bool/int/float/None when they parse as such "
                           "(default: the suite's grid)")
+    run.add_argument("--topology", default=None, metavar="FAM1,FAM2",
+                     help="topology families to sweep the baseline fabric over "
+                          "(shorthand for --axis topology=...; see list-fabrics; "
+                          "default: the suite's grid)")
+    run.add_argument("--routing-policy", dest="routing_policy", default=None,
+                     metavar="POL1,POL2",
+                     help="routing policies to sweep the baseline fabric over "
+                          "(shorthand for --axis routing_policy=...; see "
+                          "list-fabrics; default: the suite's grid)")
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser(
@@ -216,6 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
     listing.add_argument("--suite", default=None,
                          help="suite whose scenarios to list (default: list suites)")
     listing.set_defaults(handler=_cmd_list_scenarios)
+
+    fabrics = commands.add_parser(
+        "list-fabrics",
+        help="list topology families, routing policies and their matrix",
+        description="Print the registered topology families (with router/link "
+        "counts at a probe core count), the registered routing policies, and "
+        "the family x policy compatibility matrix: 'free' cells are "
+        "deadlock-free by construction, 'gate' cells rely on the per-workload "
+        "CDG deadlock gate, '-' cells are unsupported (an explicit routing "
+        "failure when swept). See docs/topologies.md.",
+    )
+    fabrics.add_argument("--cores", type=int, default=16,
+                         help="probe core count used for the size columns "
+                              "(default: 16)")
+    fabrics.set_defaults(handler=_cmd_list_fabrics)
     return parser
 
 

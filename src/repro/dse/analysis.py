@@ -85,17 +85,48 @@ def pareto_front(
     ]
 
 
-def _non_architecture_axes(record: EvaluationRecord) -> dict[str, object]:
-    return {key: value for key, value in record.axes.items() if key != "architecture"}
+#: axes that select a standard-fabric variant rather than an operating point
+_FABRIC_AXES = ("topology", "routing_policy")
+
+
+def _non_fabric_axes(record: EvaluationRecord) -> dict[str, object]:
+    """The record's axes minus the architecture/fabric-selection axes."""
+    excluded = ("architecture",) + _FABRIC_AXES
+    return {key: value for key, value in record.axes.items() if key not in excluded}
+
+
+def _is_reference_fabric(record: EvaluationRecord) -> bool:
+    """True for the canonical mesh + XY baseline cell of a sweep.
+
+    Reads the record's effective settings (falling back to its axes for
+    records cached before settings carried the fabric fields), so a fabric
+    selected through base settings rather than a grid axis is still
+    recognized — a torus/dateline cell is never mistaken for the mesh
+    reference just because ``topology`` was not swept.
+    """
+    settings = record.settings or {}
+    topology = settings.get("topology", record.axes.get("topology", "mesh"))
+    policy = settings.get("routing_policy", record.axes.get("routing_policy", "xy"))
+    return topology == "mesh" and policy == "xy"
 
 
 def _mesh_relevant_axes(record: EvaluationRecord) -> dict[str, object]:
-    """The record's axes restricted to fields a mesh evaluation reads."""
-    custom_only = set(EvaluationSettings._CUSTOM_ONLY_FIELDS)
+    """The record's axes restricted to fields a mesh evaluation reads.
+
+    The fabric axes are stripped too: reference cells are mesh+XY by
+    definition (:func:`_is_reference_fabric` filters them upstream), so a
+    reference that swept ``topology``/``routing_policy`` must still match
+    a record that never carried those axes.
+    """
+    excluded = (
+        set(EvaluationSettings._CUSTOM_ONLY_FIELDS)
+        | set(_FABRIC_AXES)
+        | {"architecture"}
+    )
     return {
         key: value
         for key, value in record.axes.items()
-        if key != "architecture" and key not in custom_only
+        if key not in excluded
     }
 
 
@@ -104,12 +135,17 @@ def mesh_baseline_for(
 ) -> EvaluationRecord | None:
     """The mesh record measured under the same scenario and grid cell.
 
-    Prefers the mesh cell whose non-architecture axes match exactly; falls
-    back to a mesh record that matches on every *mesh-relevant* axis (the
-    mesh ignores decomposition/synthesis knobs, so such a cell is the same
-    operating point).  A mesh cell differing on a mesh-relevant axis — e.g.
-    the router pipeline depth — is never used as a baseline: returns None
-    instead of a misleading ratio.
+    Only the canonical mesh-family + XY cells qualify as baselines, so in
+    a fabric sweep a torus or ring variant is normalized against the
+    classic mesh at the same operating point — never against itself.  A
+    sweep with no mesh+XY cell at all yields None (no ratio columns)
+    rather than a misleading self-ratio of 1.0.  Among the reference
+    cells, prefers the one whose non-architecture, non-fabric axes match
+    exactly, then falls back to one matching on every *mesh-relevant* axis
+    (the mesh ignores decomposition/synthesis knobs, so such a cell is the
+    same operating point).  A mesh cell differing on a mesh-relevant axis
+    — e.g. the router pipeline depth — is never used as a baseline:
+    returns None instead of a misleading ratio.
     """
     mesh_records = [
         other
@@ -117,11 +153,14 @@ def mesh_baseline_for(
         if other.scenario == record.scenario
         and other.architecture == MESH_ARCHITECTURE
         and other.succeeded
+        and _is_reference_fabric(other)
     ]
-    wanted = _non_architecture_axes(record)
+    wanted_operating_point = _non_fabric_axes(record)
     for other in mesh_records:
-        if _non_architecture_axes(other) == wanted:
+        if _non_fabric_axes(other) == wanted_operating_point:
             return other
+    # (an exact non-architecture-axes pass would be subsumed by the loop
+    # above: matching on all axes implies matching on the non-fabric subset)
     wanted_relevant = _mesh_relevant_axes(record)
     for other in mesh_records:
         if _mesh_relevant_axes(other) == wanted_relevant:
@@ -161,13 +200,18 @@ def custom_dominates_mesh(
     """Does some custom cell Pareto-dominate every mesh cell of the scenario?
 
     This is the paper's Section-5.2 shape: the synthesized architecture wins
-    on every figure of merit simultaneously, not just on one axis.
+    on every figure of merit simultaneously, not just on one axis.  Only
+    the canonical mesh+XY reference cells count as "the mesh baseline" —
+    torus/ring/fat-tree fabric variants share the ``mesh`` architecture
+    label but are alternative baselines, not the one the verdict names.
     """
     scoped = [record for record in records if record.scenario == scenario]
     mesh_cells = [
         record
         for record in scoped
-        if record.architecture == MESH_ARCHITECTURE and record.succeeded
+        if record.architecture == MESH_ARCHITECTURE
+        and record.succeeded
+        and _is_reference_fabric(record)
     ]
     custom_cells = [
         record
@@ -218,6 +262,8 @@ _REPORT_COLUMNS = (
     "status",
     "pareto",
     "trunc",
+    "deadlock_free",
+    "vc_channels_needed",
     "cycles_per_iteration",
     "avg_latency_cycles",
     "throughput_mbps",

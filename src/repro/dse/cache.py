@@ -71,8 +71,12 @@ from repro.exceptions import ReproError
 #: decompositions are shared across simulator-axis sweep cells;
 #: version 3: event-driven simulator — settings grew the ``engine`` knob,
 #: records carry ``sim_cycles_stepped``, and energy is batch-flushed, which
-#: can move link-energy floats by an ulp relative to per-hop charging)
-PIPELINE_VERSION = 3
+#: can move link-energy floats by an ulp relative to per-hop charging;
+#: version 4: pluggable fabric layer — settings grew the ``topology`` /
+#: ``routing_policy`` / ``require_deadlock_free`` knobs, baseline cells are
+#: table-routed through the policy registry, and every routed cell records
+#: the CDG gate's ``deadlock_free`` / ``vc_channels_needed`` provenance)
+PIPELINE_VERSION = 4
 
 #: bump when the decomposition artifact serialization changes shape
 DECOMPOSITION_ARTIFACT_FORMAT = 1

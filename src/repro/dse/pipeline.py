@@ -8,8 +8,11 @@ One call to :func:`evaluate` chains the explicit stage functions
     decompose_stage -> synthesize_stage -> route_stage
         -> simulate_stage -> score_stage
 
-for the ``custom`` architecture, or builds the mesh baseline with XY
-routing for ``mesh``, then drives the cycle-level simulator with the
+for the ``custom`` architecture, or builds the standard-fabric baseline
+(a :mod:`repro.arch.families` topology family compiled against a
+:mod:`repro.routing.policies` routing policy, via
+:func:`baseline_route_stage`) for ``mesh``, then drives the cycle-level
+simulator with the
 scenario's traffic (plain ACG batches, or the dependency-aware AES
 phases) and captures every figure of merit into an
 :class:`~repro.dse.records.EvaluationRecord`.  Failures at any stage
@@ -28,14 +31,14 @@ memo (``"memory"``) or the on-disk artifact store (``"store"``).
 
 from __future__ import annotations
 
-import math
 import time
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field, fields, replace
 
 from repro.aes.aes_core import FIPS197_KEY
 from repro.aes.distributed import DistributedAES
-from repro.arch.mesh import MeshTopology, build_mesh
+from repro.arch.families import get_family, pad_node_ids
+from repro.arch.mesh import MeshTopology
 from repro.arch.topology import Topology
 from repro.core.cost import LinkCountCostModel
 from repro.core.decomposition import (
@@ -70,6 +73,7 @@ from repro.dse.records import (
 from repro.energy.technology import Technology, get_technology
 from repro.exceptions import (
     ConfigurationError,
+    DeadlockError,
     DecompositionError,
     RoutingError,
     SimulationError,
@@ -78,8 +82,9 @@ from repro.exceptions import (
 from repro.noc.simulator import ENGINE_EVENT, ENGINES, NoCSimulator, SimulatorConfig
 from repro.noc.stats import throughput_mbps_from_cycles
 from repro.noc.traffic import acg_messages
-from repro.routing.deadlock import analyze_deadlock
-from repro.routing.xy import xy_routing_function
+from repro.routing.deadlock import DeadlockReport, analyze_deadlock
+from repro.routing.policies import get_policy
+from repro.routing.table import RoutingTable
 
 NodeId = Hashable
 RoutingFunction = Callable[[NodeId, NodeId], NodeId]
@@ -116,7 +121,10 @@ class EvaluationSettings:
     """
 
     architecture: str = "custom"
-    """``"custom"`` (decompose + synthesize) or ``"mesh"`` (XY baseline)."""
+    """``"custom"`` (decompose + synthesize) or ``"mesh"`` (standard-fabric
+    baseline: a :mod:`repro.arch.families` topology family routed by a
+    :mod:`repro.routing.policies` policy; the label predates the fabric
+    registry and covers every standard family, not just the mesh)."""
 
     # -- decomposition ---------------------------------------------------
     strategy: str = "branch_and_bound"
@@ -131,8 +139,22 @@ class EvaluationSettings:
     bidirectional_links: bool = False
     fill_all_pairs_routing: bool = False
 
-    # -- mesh baseline ---------------------------------------------------
+    # -- standard-fabric baseline ----------------------------------------
+    topology: str = "mesh"
+    """Topology family of the baseline fabric (see
+    :func:`repro.arch.families.family_names`)."""
+    routing_policy: str = "xy"
+    """Routing policy compiled onto the baseline fabric (see
+    :func:`repro.routing.policies.policy_names`)."""
     mesh_tile_pitch_mm: float = 2.0
+    """Tile pitch of the baseline fabric (the name predates the fabric
+    registry; every family reads it, not just the mesh)."""
+
+    # -- routing gate ----------------------------------------------------
+    require_deadlock_free: bool = False
+    """When true, the route-stage CDG gate fails cells whose routing table
+    admits a dependency cycle instead of simulating them; either way the
+    record carries ``deadlock_free`` and ``vc_channels_needed``."""
 
     # -- simulation ------------------------------------------------------
     technology: str = "fpga_virtex2"
@@ -153,6 +175,8 @@ class EvaluationSettings:
             raise ConfigurationError(
                 f"unknown library {self.library!r}; available: {sorted(LIBRARIES)}"
             )
+        get_family(self.topology)  # raises ConfigurationError when unknown
+        get_policy(self.routing_policy)  # raises ConfigurationError when unknown
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown simulator engine {self.engine!r} (use one of {ENGINES})"
@@ -180,30 +204,44 @@ class EvaluationSettings:
         "fill_all_pairs_routing",
     )
 
+    #: fields only the standard-fabric baseline reads
+    _FABRIC_ONLY_FIELDS = (
+        "topology",
+        "routing_policy",
+        "mesh_tile_pitch_mm",
+    )
+
     def canonical_dict(self) -> dict[str, object]:
         """``as_dict`` with architecture-irrelevant knobs normalized out.
 
-        Used for content-hash cache keys: a mesh baseline does not depend on
-        decomposition/synthesis knobs (and a custom architecture does not
-        depend on the mesh tile pitch), so cells differing only in an
-        irrelevant axis share one key — and one evaluation.
+        Used for content-hash cache keys: a standard-fabric baseline does
+        not depend on decomposition/synthesis knobs (and a custom
+        architecture does not depend on the fabric family, routing policy
+        or tile pitch), so cells differing only in an irrelevant axis share
+        one key — and one evaluation.
         """
         payload = self.as_dict()
         if self.architecture == "mesh":
             for name in self._CUSTOM_ONLY_FIELDS:
                 payload[name] = None
         else:
-            payload["mesh_tile_pitch_mm"] = None
+            for name in self._FABRIC_ONLY_FIELDS:
+                payload[name] = None
         return payload
 
     #: fields only the simulate/score stages read; changing one never changes
-    #: the decomposition or the synthesized topology
+    #: the decomposition or the synthesized topology.
+    #: ``require_deadlock_free`` rides along: it gates whether a cell
+    #: *proceeds* past the route stage, but the routing table and deadlock
+    #: report it inspects are identical either way, so stage artifacts are
+    #: safely shared across gate settings.
     _SIMULATOR_STAGE_FIELDS = (
         "technology",
         "router_pipeline_delay_cycles",
         "buffer_capacity_packets",
         "max_cycles",
         "engine",
+        "require_deadlock_free",
     )
 
     #: fields the synthesize/route stages read on top of the decomposition
@@ -491,28 +529,68 @@ def simulate_acg_traffic(
     )
 
 
-def build_baseline_mesh(
-    acg: ApplicationGraph, tile_pitch_mm: float = 2.0, flit_width_bits: int = 32
-) -> MeshTopology:
-    """The standard-mesh baseline for an arbitrary scenario.
+def build_baseline_fabric(
+    acg: ApplicationGraph,
+    family: str = "mesh",
+    tile_pitch_mm: float = 2.0,
+    flit_width_bits: int = 32,
+) -> Topology:
+    """The standard-fabric baseline of the named family for a scenario.
 
-    The grid is the most-square mesh that fits every ACG core (16 cores ->
-    4x4, 12 -> 3x4); when the core count is not rectangular the spare tiles
-    are padded with traffic-less filler routers so XY routing stays intact.
+    Every ACG core becomes one fabric router; when the family needs more
+    routers than the ACG has cores (a rectangular grid, an even spidergon
+    ring) the spare slots are padded with traffic-less ``__pad*`` filler
+    routers, so structured routing policies stay intact.  The mesh family
+    uses the most-square grid that fits every core (16 cores -> 4x4,
+    12 -> 3x4), exactly as the historical mesh baseline did.
     """
     nodes = list(acg.nodes())
     if not nodes:
-        raise ConfigurationError("cannot build a mesh baseline for an empty ACG")
-    columns = max(1, math.ceil(math.sqrt(len(nodes))))
-    rows = max(1, math.ceil(len(nodes) / columns))
-    padding = [f"__pad{index}" for index in range(rows * columns - len(nodes))]
-    return build_mesh(
-        rows,
-        columns,
+        raise ConfigurationError("cannot build a fabric baseline for an empty ACG")
+    spec = get_family(family)
+    return spec.build(
+        pad_node_ids(spec, nodes),
         tile_pitch_mm=tile_pitch_mm,
         flit_width_bits=flit_width_bits,
-        node_ids=nodes + padding,
     )
+
+
+def build_baseline_mesh(
+    acg: ApplicationGraph, tile_pitch_mm: float = 2.0, flit_width_bits: int = 32
+) -> MeshTopology:
+    """The standard-mesh baseline (``build_baseline_fabric`` with ``mesh``)."""
+    fabric = build_baseline_fabric(
+        acg, family="mesh", tile_pitch_mm=tile_pitch_mm, flit_width_bits=flit_width_bits
+    )
+    assert isinstance(fabric, MeshTopology)  # the mesh family builds meshes
+    return fabric
+
+
+def baseline_route_stage(
+    scenario: Scenario, settings: EvaluationSettings
+) -> tuple[Topology, RoutingTable, DeadlockReport]:
+    """Build + route the standard-fabric baseline for one cell.
+
+    The counterpart of :func:`synthesize_stage` + :func:`route_stage` for
+    ``architecture="mesh"`` cells: instantiate the settings' topology
+    family, compile its routing policy into a flat next-hop table, and run
+    the CDG deadlock analysis over the scenario's traffic pairs.  Raises
+    :class:`~repro.exceptions.RoutingError` when the policy does not
+    support the family — an explicit exploration result, not a crash.
+    """
+    settings = scenario.effective_settings(settings)
+    fabric = build_baseline_fabric(
+        scenario.acg,
+        family=settings.topology,
+        tile_pitch_mm=settings.mesh_tile_pitch_mm,
+        flit_width_bits=settings.flit_width_bits,
+    )
+    # only the scenario's traffic pairs are ever simulated or deadlock-
+    # gated, so the table is restricted to them: same routed decisions,
+    # none of the all-pairs work over __pad*/__sw* infrastructure routers
+    table = get_policy(settings.routing_policy).build(fabric, scenario.acg.edges())
+    deadlock_report = analyze_deadlock(table, scenario.acg.edges())
+    return fabric, table, deadlock_report
 
 
 # ----------------------------------------------------------------------
@@ -655,6 +733,30 @@ def score_stage(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, f
     }
 
 
+def _apply_deadlock_gate(
+    record: EvaluationRecord,
+    settings: EvaluationSettings,
+    deadlock_report: DeadlockReport | None,
+) -> None:
+    """The route-stage CDG gate: record provenance, optionally fail the cell.
+
+    Every routed cell gets ``deadlock_free`` plus a ``vc_channels_needed``
+    metric (how many channels would need an extra virtual channel to break
+    every dependency cycle).  With ``require_deadlock_free`` a cyclic CDG
+    raises :class:`~repro.exceptions.DeadlockError`, which
+    :func:`evaluate` records as a routing failure — nothing is ever
+    silently simulated on a deadlocky table without provenance saying so.
+    """
+    if deadlock_report is None:
+        return
+    record.deadlock_free = deadlock_report.is_deadlock_free
+    record.metrics["vc_channels_needed"] = float(
+        len(deadlock_report.channels_needing_virtual_channels)
+    )
+    if settings.require_deadlock_free and not deadlock_report.is_deadlock_free:
+        raise DeadlockError(list(deadlock_report.cycle))
+
+
 def _record_decomposition(
     record: EvaluationRecord, decomposition: DecompositionResult
 ) -> None:
@@ -689,8 +791,7 @@ def _synthesize_custom(
     record.stage_reuse["synthesize"] = provenance
     if architecture.constraint_report is not None:
         record.constraints_satisfied = architecture.constraint_report.satisfied
-    if architecture.deadlock_report is not None:
-        record.deadlock_free = architecture.deadlock_report.is_deadlock_free
+    _apply_deadlock_gate(record, settings, architecture.deadlock_report)
     return architecture
 
 
@@ -725,14 +826,11 @@ def evaluate(
     start = time.perf_counter()
     try:
         if settings.architecture == "mesh":
-            mesh = build_baseline_mesh(
-                scenario.acg,
-                tile_pitch_mm=settings.mesh_tile_pitch_mm,
-                flit_width_bits=settings.flit_width_bits,
-            )
-            topology: Topology = mesh
-            routing: RoutingFunction = xy_routing_function(mesh)
-            name = mesh.name
+            fabric, table, deadlock_report = baseline_route_stage(scenario, settings)
+            _apply_deadlock_gate(record, settings, deadlock_report)
+            topology: Topology = fabric
+            routing: RoutingFunction = table.frozen_next_hop()
+            name = fabric.name
         else:
             architecture = _synthesize_custom(scenario, settings, record, context)
             topology = architecture.topology

@@ -4,7 +4,9 @@ A *suite* bundles scenarios (workload + traffic mode) with the default
 grid axes and base settings a sweep over them should use.  Built-in
 suites cover the paper's AES case study, the published embedded
 benchmarks (:mod:`repro.workloads.benchmarks`), TGFF/Pajek-style
-generated graphs and degree-sequence-controlled random ACGs.  Every
+generated graphs, degree-sequence-controlled random ACGs and a
+cross-fabric baseline sweep (``fabrics``: topology families x routing
+policies over the :mod:`repro.arch.families` registry).  Every
 random scenario passes its seed *explicitly* and records it in
 ``Scenario.params`` so the content-hash cache key is stable across
 processes and sessions.
@@ -255,6 +257,13 @@ def _random_scenarios() -> list[Scenario]:
     ]
 
 
+def _fabric_scenarios() -> list[Scenario]:
+    return [
+        tgff_scenario(num_tasks=12, seed=7),
+        scale_free_scenario(num_nodes=16, seed=3),
+    ]
+
+
 register_suite(
     SuiteSpec(
         name="smoke",
@@ -291,6 +300,30 @@ register_suite(
             "architecture": ("mesh", "custom"),
             "router_pipeline_delay_cycles": (2,),
         },
+    )
+)
+
+register_suite(
+    SuiteSpec(
+        name="fabrics",
+        description=(
+            "standard-fabric baseline sweep: topology families x routing "
+            "policies (unsupported pairs become explicit routing failures)"
+        ),
+        factory=_fabric_scenarios,
+        default_axes={
+            "architecture": ("mesh",),
+            "topology": (
+                "mesh",
+                "torus",
+                "ring",
+                "spidergon",
+                "fat_tree",
+                "long_range_mesh",
+            ),
+            "routing_policy": ("xy", "up_down"),
+        },
+        base_settings=EvaluationSettings(architecture="mesh", max_cycles=100_000),
     )
 )
 

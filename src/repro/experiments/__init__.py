@@ -18,6 +18,7 @@ from repro.experiments.comparison import (
     ArchitectureMetrics,
     PrototypeComparison,
     evaluate_custom,
+    evaluate_fabric,
     evaluate_mesh,
     run_prototype_comparison,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "PAPER_AES_COST",
     "PAPER_AES_PRIMITIVES",
     "run_prototype_comparison",
+    "evaluate_fabric",
     "evaluate_mesh",
     "evaluate_custom",
     "PrototypeComparison",

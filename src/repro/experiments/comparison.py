@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.mesh import build_mesh
+from repro.arch.families import build_fabric, pad_node_ids
 from repro.core.synthesis import SynthesizedArchitecture
 from repro.dse.pipeline import (
     AES_BLOCK_SIZE_BITS,
@@ -37,7 +37,7 @@ from repro.energy.technology import FPGA_VIRTEX2, Technology
 from repro.experiments.aes_experiment import AesSynthesisResult, run_aes_synthesis
 from repro.experiments.reporting import format_table, percentage_change
 from repro.noc.simulator import SimulatorConfig
-from repro.routing.xy import xy_routing_function
+from repro.routing.policies import get_policy
 
 #: paper-reported reference numbers (Section 5.2)
 PAPER_RESULTS = {
@@ -81,6 +81,7 @@ __all__ = [
     "ArchitectureMetrics",
     "PrototypeComparison",
     "default_simulator_config",
+    "evaluate_fabric",
     "evaluate_mesh",
     "evaluate_custom",
     "run_prototype_comparison",
@@ -149,6 +150,37 @@ class PrototypeComparison:
 # measurement helpers (the actual simulation lives in repro.dse.pipeline,
 # the shared evaluation pipeline this comparison now runs on)
 # ----------------------------------------------------------------------
+def evaluate_fabric(
+    family: str = "mesh",
+    routing_policy: str = "xy",
+    blocks: int = 4,
+    technology: Technology = FPGA_VIRTEX2,
+    tile_pitch_mm: float = 2.0,
+    simulator_config: SimulatorConfig | None = None,
+    computation_cycles_per_phase: int = DEFAULT_COMPUTATION_CYCLES_PER_PHASE,
+) -> ArchitectureMetrics:
+    """Simulate a 16-core standard fabric of the named family under AES traffic.
+
+    The comparison's standard side generalized beyond the 4x4 mesh: any
+    registered :mod:`repro.arch.families` family routed by any compatible
+    :mod:`repro.routing.policies` policy (the policy registry raises
+    :class:`~repro.exceptions.RoutingError` for unsupported pairs).
+    """
+    node_ids = pad_node_ids(family, range(1, 17))
+    fabric = build_fabric(family, node_ids, tile_pitch_mm=tile_pitch_mm)
+    table = get_policy(routing_policy).build(fabric)
+    config = simulator_config or default_simulator_config()
+    return simulate_aes_traffic(
+        fabric.name,
+        fabric,
+        table.frozen_next_hop(),
+        blocks,
+        technology,
+        config,
+        computation_cycles_per_phase=computation_cycles_per_phase,
+    )
+
+
 def evaluate_mesh(
     blocks: int = 4,
     technology: Technology = FPGA_VIRTEX2,
@@ -157,15 +189,13 @@ def evaluate_mesh(
     computation_cycles_per_phase: int = DEFAULT_COMPUTATION_CYCLES_PER_PHASE,
 ) -> ArchitectureMetrics:
     """Simulate the 4x4 mesh baseline (XY routing) under AES traffic."""
-    mesh = build_mesh(4, 4, tile_pitch_mm=tile_pitch_mm)
-    config = simulator_config or default_simulator_config()
-    return simulate_aes_traffic(
-        "mesh_4x4",
-        mesh,
-        xy_routing_function(mesh),
-        blocks,
-        technology,
-        config,
+    return evaluate_fabric(
+        family="mesh",
+        routing_policy="xy",
+        blocks=blocks,
+        technology=technology,
+        tile_pitch_mm=tile_pitch_mm,
+        simulator_config=simulator_config,
         computation_cycles_per_phase=computation_cycles_per_phase,
     )
 

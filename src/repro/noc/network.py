@@ -45,6 +45,7 @@ class Network:
         self.topology = topology
         self._routing = routing
         self._route_cache: dict[tuple[NodeId, NodeId], NodeId] = {}
+        self.buffer_capacity_packets = buffer_capacity_packets
         self.pipeline_delay_cycles = pipeline_delay_cycles
         self.routers: dict[NodeId, Router] = {
             node: Router(
@@ -82,6 +83,40 @@ class Network:
     def routing(self, routing: RoutingFunction) -> None:
         """Swap the routing function, dropping every memoized decision."""
         self._routing = routing
+        self._route_cache.clear()
+
+    def sync_topology(self) -> None:
+        """Re-wire the fabric after the topology gained routers or channels.
+
+        Router instances, downstream input ports and channel occupancy state
+        are all materialized at construction, and :meth:`next_hop` memoizes
+        routing decisions validated against the *then-current* channel set —
+        so a channel (or router) added to the topology afterwards is
+        invisible: packets routed over it would be refused at the missing
+        input port, and a memoized decision that predates the mutation would
+        keep winning even when the new channel makes it stale.  Call this
+        after any post-construction topology mutation; it wires the new
+        elements in and drops every memoized routing decision.  When the
+        network is owned by a :class:`~repro.noc.simulator.NoCSimulator`,
+        call the simulator's ``sync_topology()`` instead — it delegates
+        here and also refreshes the engine's own per-router bookkeeping,
+        which a new *router* needs.  (A frozen
+        :meth:`~repro.routing.table.RoutingTable.frozen_next_hop` snapshot
+        is a deliberate point-in-time copy: re-freeze the table and assign
+        :attr:`routing` to pick up new table entries.)
+        """
+        for node in self.topology.routers():
+            if node not in self.routers:
+                self.routers[node] = Router(
+                    node,
+                    buffer_capacity_packets=self.buffer_capacity_packets,
+                    pipeline_delay_cycles=self.pipeline_delay_cycles,
+                )
+        for channel in self.topology.channels():
+            key = (channel.source, channel.target)
+            self.routers[channel.target].add_input_port(channel.source)
+            if key not in self.channel_free_at:
+                self.channel_free_at[key] = 0
         self._route_cache.clear()
 
     def next_hop(self, current: NodeId, destination: NodeId) -> NodeId:

@@ -145,6 +145,28 @@ class NoCSimulator:
             for node in self.network.routers
         }
 
+    def sync_topology(self) -> None:
+        """Adopt routers/channels added to the topology after construction.
+
+        The simulator mirrors :meth:`Network.sync_topology
+        <repro.noc.network.Network.sync_topology>` with its own per-router
+        bookkeeping (processing order, load counters, nomination closures),
+        so this is the one entry point to call after mutating a simulated
+        topology; it delegates the fabric re-wiring to the network first.
+        New routers are appended to the processing order — existing
+        routers keep their positions, so an in-flight simulation's
+        arbitration stays stable.
+        """
+        self.network.sync_topology()
+        for node in self.network.routers:
+            if node in self._router_order:
+                continue
+            self._router_order[node] = len(self._router_order)
+            self._buffered_by_node[node] = 0
+            self._wants_output[node] = (
+                lambda packet, _node=node: self.network.output_request(_node, packet)
+            )
+
     # ------------------------------------------------------------------
     # traffic scheduling
     # ------------------------------------------------------------------

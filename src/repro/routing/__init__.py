@@ -1,10 +1,20 @@
-"""Routing substrate: shortest paths, table routing, XY routing, deadlock analysis."""
+"""Routing substrate: shortest paths, table routing, the routing-policy
+registry (XY/YX, turn models, dateline, up*/down*, shortest path) and
+deadlock analysis."""
 
 from repro.routing.deadlock import (
     DeadlockReport,
     analyze_deadlock,
     assert_deadlock_free,
     build_channel_dependency_graph,
+)
+from repro.routing.policies import (
+    PolicySpec,
+    build_policy_table,
+    get_policy,
+    policy_names,
+    register_policy,
+    supported_policies,
 )
 from repro.routing.shortest_path import (
     all_pairs_shortest_paths,
@@ -17,6 +27,12 @@ from repro.routing.xy import build_xy_routing_table, xy_next_hop, xy_route
 
 __all__ = [
     "RoutingTable",
+    "PolicySpec",
+    "register_policy",
+    "policy_names",
+    "get_policy",
+    "build_policy_table",
+    "supported_policies",
     "bfs_shortest_path",
     "dijkstra_shortest_path",
     "all_pairs_shortest_paths",

@@ -25,6 +25,15 @@ class RoutingTable:
 
     topology: Topology
     _next_hop: dict[tuple[NodeId, NodeId], NodeId] = field(default_factory=dict)
+    _version: int = 0
+    """Mutation counter: bumped by every accepted :meth:`set_next_hop` (and
+    therefore by :meth:`install_path`/:meth:`merge`), so consumers holding a
+    :meth:`frozen_next_hop` snapshot can detect that it has gone stale."""
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see :meth:`frozen_next_hop`)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -45,7 +54,9 @@ class RoutingTable:
                 f"conflicting next hops for ({router!r} -> {destination!r}): "
                 f"{existing!r} vs {next_hop!r}"
             )
-        self._next_hop[(router, destination)] = next_hop
+        if existing is None:
+            self._next_hop[(router, destination)] = next_hop
+            self._version += 1
 
     def install_path(self, path: Iterable[NodeId]) -> None:
         """Install the entries implied by a full source→destination path."""
@@ -83,7 +94,15 @@ class RoutingTable:
         The returned callable answers from a plain dict copied at freeze
         time — no topology lookups, no attribute chases — which is what the
         simulator engines want as their routing source.  Later mutations of
-        this table are deliberately not visible through the snapshot.  Raises
+        this table are deliberately not visible through the snapshot: a
+        frozen function is a point-in-time copy, and consumers that mutate
+        the table afterwards must re-freeze (and, for a live
+        :class:`~repro.noc.network.Network`, assign the new function to
+        ``network.routing`` so its route memo is dropped too; see
+        :meth:`~repro.noc.network.Network.sync_topology` for the matching
+        channel-level contract).  The snapshot carries the table's
+        :attr:`version` at freeze time as ``table_version`` and whether it
+        has gone stale is ``table.version != frozen.table_version``.  Raises
         the same :class:`RoutingError` messages as :meth:`next_hop` for
         missing entries.
         """
@@ -101,6 +120,7 @@ class RoutingTable:
                     f"router {router!r} has no route towards {destination!r}"
                 ) from None
 
+        next_hop.table_version = self._version  # type: ignore[attr-defined]
         return next_hop
 
     def route(self, source: NodeId, destination: NodeId, max_hops: int | None = None) -> list[NodeId]:

@@ -119,6 +119,63 @@ class TestBaselineNormalization:
                          axes={"architecture": "custom", "library": "extended"})
         assert mesh_baseline_for(custom, [mesh, custom]) is mesh
 
+    def test_fabric_variant_normalizes_against_mesh_xy_not_itself(self):
+        reference = _record("s", "mesh", 10, 2.0, 40,
+                            axes={"architecture": "mesh", "topology": "mesh",
+                                  "routing_policy": "xy"})
+        torus = _record("s", "mesh", 8, 1.8, 44,
+                        axes={"architecture": "mesh", "topology": "torus",
+                              "routing_policy": "xy"})
+        assert mesh_baseline_for(torus, [reference, torus]) is reference
+        rows = normalize_to_mesh([reference, torus])
+        assert rows[1]["avg_latency_cycles_vs_mesh"] == pytest.approx(8 / 10)
+
+    def test_fabric_sweep_without_mesh_xy_has_no_baseline(self):
+        # a torus-only sweep must not self-baseline into all-1.0 ratios
+        torus = _record("s", "mesh", 8, 1.8, 44,
+                        axes={"architecture": "mesh", "topology": "torus",
+                              "routing_policy": "dateline"})
+        assert mesh_baseline_for(torus, [torus]) is None
+        assert "avg_latency_cycles_vs_mesh" not in normalize_to_mesh([torus])[0]
+
+    def test_reference_with_fabric_axes_still_matches_axisless_records(self):
+        # a mesh+XY cell from a fabrics-suite sweep carries topology/policy
+        # axes; a custom record from another sweep does not — the mesh-
+        # relevant fallback must still pair them up
+        reference = _record("s", "mesh", 10, 2.0, 40,
+                            axes={"architecture": "mesh", "topology": "mesh",
+                                  "routing_policy": "xy"})
+        custom = _record("s", "custom", 6, 1.0, 55,
+                         axes={"architecture": "custom", "library": "extended"})
+        assert mesh_baseline_for(custom, [reference, custom]) is reference
+
+    def test_dominance_verdict_ignores_non_reference_fabrics(self):
+        from repro.dse.analysis import custom_dominates_mesh
+
+        reference = _record("s", "mesh", 10, 2.0, 40,
+                            axes={"architecture": "mesh", "topology": "mesh",
+                                  "routing_policy": "xy"})
+        # a torus variant that beats custom on latency must not veto the
+        # verdict: it is an alternative baseline, not "the mesh baseline"
+        torus = _record("s", "mesh", 4, 3.0, 30,
+                        axes={"architecture": "mesh", "topology": "torus",
+                              "routing_policy": "xy"})
+        custom = _record("s", "custom", 5, 1.0, 60,
+                         axes={"architecture": "custom"})
+        assert custom_dominates_mesh([reference, torus, custom], "s")
+
+    def test_fabric_pinned_in_settings_is_not_a_mesh_reference(self):
+        # the fabric may be selected via base settings instead of an axis:
+        # the settings dict, not the axes, decides reference-ness
+        torus = _record("s", "mesh", 8, 1.8, 44, axes={"architecture": "mesh"})
+        torus.settings = {"topology": "torus", "routing_policy": "dateline"}
+        custom = _record("s", "custom", 6, 1.0, 55, axes={"architecture": "custom"})
+        assert mesh_baseline_for(custom, [torus, custom]) is None
+        true_mesh = _record("s", "mesh", 10, 2.0, 40, axes={"architecture": "mesh"},
+                            key="true-mesh")
+        true_mesh.settings = {"topology": "mesh", "routing_policy": "xy"}
+        assert mesh_baseline_for(custom, [torus, true_mesh, custom]) is true_mesh
+
     def test_dominance_verdict(self):
         mesh = _record("s", "mesh", 10, 2.0, 40)
         winning_custom = _record("s", "custom", 5, 1.0, 60)
@@ -220,6 +277,32 @@ class TestCommandLine:
         assert main(["list-scenarios", "--suite", "embedded"]) == 0
         out = capsys.readouterr().out
         assert "vopd" in out and "mpeg4" in out
+
+    def test_list_fabrics(self, capsys):
+        assert main(["list-fabrics"]) == 0
+        out = capsys.readouterr().out
+        assert "topology families" in out
+        assert "routing policies" in out
+        assert "compatibility" in out
+        for family in ("mesh", "torus", "ring", "spidergon", "fat_tree"):
+            assert family in out
+        for policy in ("xy", "dateline", "up_down", "odd_even"):
+            assert policy in out
+
+    def test_run_with_fabric_flags(self, tmp_path, capsys):
+        results = tmp_path / "results.jsonl"
+        assert main(["run", "--suite", "fabrics", "--results", str(results),
+                     "--topology", "mesh,torus,ring",
+                     "--routing-policy", "xy,up_down"]) == 0
+        out = capsys.readouterr().out
+        # 2 scenarios x 3 topologies x 2 policies = 12 cells; ring+xy fails
+        assert "12 cells" in out
+        assert "routing policy 'xy' does not support topology" in out
+        assert main(["report", "--results", str(results)]) == 0
+        report = capsys.readouterr().out
+        assert "deadlock_free" in report
+        assert "vc_channels_needed" in report
+        assert "topology=torus" in report
 
     def test_report_without_results_fails_cleanly(self, tmp_path, capsys):
         missing = tmp_path / "nothing.jsonl"

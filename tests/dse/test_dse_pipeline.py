@@ -7,10 +7,17 @@ import pytest
 from repro.dse.pipeline import (
     EvaluationSettings,
     Scenario,
+    baseline_route_stage,
+    build_baseline_fabric,
     build_baseline_mesh,
     evaluate,
 )
-from repro.dse.records import STATUS_OK, STATUS_SIMULATION_FAILED, EvaluationRecord
+from repro.dse.records import (
+    STATUS_OK,
+    STATUS_ROUTING_FAILED,
+    STATUS_SIMULATION_FAILED,
+    EvaluationRecord,
+)
 from repro.dse.scenarios import (
     aes_scenario,
     embedded_scenario,
@@ -50,6 +57,34 @@ class TestEvaluationSettings:
         custom_b = EvaluationSettings(architecture="custom", mesh_tile_pitch_mm=3.0)
         assert custom_a.canonical_dict() == custom_b.canonical_dict()
         assert custom_a.canonical_dict() != mesh_a.canonical_dict()
+
+    def test_canonical_dict_normalizes_fabric_axes_for_custom(self):
+        """A custom cell never reads the fabric family or routing policy, so
+        a topology/routing_policy sweep collapses onto one custom key."""
+        torus = EvaluationSettings(
+            architecture="custom", topology="torus", routing_policy="up_down"
+        )
+        ring = EvaluationSettings(
+            architecture="custom", topology="ring", routing_policy="dateline"
+        )
+        assert torus.canonical_dict() == ring.canonical_dict()
+        mesh_torus = EvaluationSettings(architecture="mesh", topology="torus")
+        mesh_ring = EvaluationSettings(architecture="mesh", topology="ring")
+        assert mesh_torus.canonical_dict() != mesh_ring.canonical_dict()
+
+    def test_invalid_fabric_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationSettings(topology="hypercube")
+        with pytest.raises(ConfigurationError):
+            EvaluationSettings(routing_policy="fully_adaptive")
+
+    def test_gate_knob_stays_out_of_stage_keys(self):
+        """The deadlock gate never changes the decomposition/synthesis
+        artifacts, so it must not fragment the stage caches."""
+        lax = EvaluationSettings(architecture="custom")
+        strict = EvaluationSettings(architecture="custom", require_deadlock_free=True)
+        assert lax.synthesis_stage_dict() == strict.synthesis_stage_dict()
+        assert lax.decomposition_stage_dict() == strict.decomposition_stage_dict()
 
 
 class TestScenario:
@@ -94,6 +129,37 @@ class TestBaselineMesh:
         assert len(pads) == mesh.num_routers - 10
 
 
+class TestBaselineFabric:
+    def test_every_family_builds_from_an_acg(self):
+        from repro.arch.families import family_names
+
+        acg = tgff_scenario(num_tasks=10, seed=7).acg
+        for family in family_names():
+            fabric = build_baseline_fabric(acg, family=family)
+            for node in acg.nodes():
+                assert fabric.has_router(node), (family, node)
+
+    def test_route_stage_gate_reports_on_traffic_pairs(self):
+        scenario = tgff_scenario(num_tasks=12, seed=7)
+        settings = EvaluationSettings(
+            architecture="mesh", topology="torus", routing_policy="dateline"
+        )
+        fabric, table, report = baseline_route_stage(scenario, settings)
+        for source, target in scenario.acg.edges():
+            assert table.route(source, target)[-1] == target
+        assert report.num_channels > 0
+
+    def test_unsupported_policy_raises_routing_error(self):
+        from repro.exceptions import RoutingError
+
+        scenario = tgff_scenario(num_tasks=12, seed=7)
+        settings = EvaluationSettings(
+            architecture="mesh", topology="fat_tree", routing_policy="xy"
+        )
+        with pytest.raises(RoutingError):
+            baseline_route_stage(scenario, settings)
+
+
 class TestEvaluate:
     def test_mesh_and_custom_records(self):
         scenario = planted_scenario(num_nodes=12, seed=11)
@@ -105,11 +171,13 @@ class TestEvaluate:
             assert record.metrics["avg_latency_cycles"] > 0
             assert record.metrics["energy_per_iteration_uj"] > 0
             assert record.metrics["throughput_mbps"] > 0
-        # only the custom flow decomposes and checks constraints/deadlock
+        # only the custom flow decomposes and checks constraints
         assert "decomposition_cost" in custom.metrics
         assert "decomposition_cost" not in mesh.metrics
+        # ... but the CDG deadlock gate now covers every routed cell
         assert custom.deadlock_free is not None
-        assert mesh.deadlock_free is None
+        assert mesh.deadlock_free is True
+        assert mesh.metrics["vc_channels_needed"] == 0.0
         assert custom.search_statistics.get("nodes_expanded", 0) > 0
 
     def test_aes_phase_traffic(self):
@@ -122,6 +190,78 @@ class TestEvaluate:
         assert record.metrics["decomposition_cost"] == pytest.approx(28.0)
         assert record.metrics["num_matchings"] == 6
         assert record.metrics["remainder_edges"] == 4
+
+    def test_fabric_cells_evaluate_end_to_end(self):
+        scenario = planted_scenario(num_nodes=12, seed=11)
+        for topology, policy in (
+            ("torus", "xy"),
+            ("ring", "up_down"),
+            ("spidergon", "shortest_path"),
+            ("fat_tree", "up_down"),
+        ):
+            record = evaluate(
+                scenario,
+                EvaluationSettings(
+                    architecture="mesh", topology=topology, routing_policy=policy
+                ),
+            )
+            assert record.status == STATUS_OK, (topology, policy, record.error)
+            assert record.deadlock_free is not None
+            assert "vc_channels_needed" in record.metrics
+            assert record.metrics["total_cycles"] > 0
+
+    def test_unsupported_fabric_policy_pair_is_a_result(self):
+        record = evaluate(
+            planted_scenario(num_nodes=12, seed=11),
+            EvaluationSettings(architecture="mesh", topology="ring", routing_policy="xy"),
+        )
+        assert record.status == STATUS_ROUTING_FAILED
+        assert "does not support" in record.error
+
+    def test_require_deadlock_free_gates_cyclic_tables(self):
+        """A ring whose traffic closes the full rotation cycle deadlocks
+        under shortest-path routing; the strict gate must fail the cell
+        while the default gate records provenance and simulates."""
+        from repro.core.graph import ApplicationGraph
+
+        acg = ApplicationGraph(name="rotation")
+        nodes = list(range(1, 7))
+        for index, node in enumerate(nodes):
+            two_ahead = nodes[(index + 2) % len(nodes)]
+            acg.add_communication(node, two_ahead, volume=32.0)
+        scenario = Scenario(name="rotation", acg=acg)
+        base = EvaluationSettings(
+            architecture="mesh", topology="ring", routing_policy="shortest_path"
+        )
+        lax = evaluate(scenario, base)
+        assert lax.deadlock_free is False
+        assert lax.metrics["vc_channels_needed"] >= 1
+        strict = evaluate(scenario, base.merged({"require_deadlock_free": True}))
+        assert strict.status == STATUS_ROUTING_FAILED
+        assert strict.deadlock_free is False
+        assert "deadlock" in strict.error
+
+    def test_mesh_xy_fabric_matches_the_historical_baseline(self):
+        """The refactored table-routed mesh+XY baseline must be metric-
+        identical to the pre-fabric xy_routing_function path."""
+        from dataclasses import asdict
+
+        from repro.dse.pipeline import simulate_acg_traffic
+        from repro.routing.xy import xy_routing_function
+
+        scenario = planted_scenario(num_nodes=12, seed=11)
+        settings = EvaluationSettings(architecture="mesh")
+        mesh = build_baseline_mesh(scenario.acg)
+        legacy = simulate_acg_traffic(
+            "m", mesh, xy_routing_function(mesh), scenario.acg,
+            settings.build_technology(), settings.build_simulator_config(),
+        )
+        fabric, table, _ = baseline_route_stage(scenario, settings)
+        modern = simulate_acg_traffic(
+            "m", fabric, table.frozen_next_hop(), scenario.acg,
+            settings.build_technology(), settings.build_simulator_config(),
+        )
+        assert asdict(legacy) == asdict(modern)
 
     def test_failure_becomes_data_not_exception(self):
         scenario = embedded_scenario("vopd")

@@ -195,6 +195,27 @@ class TestRunSweep:
             "extended",
         ]
 
+    def test_fabric_axes_collapse_for_custom_cells(self):
+        # custom cells never read the fabric axes, so a topology x policy
+        # sweep runs the expensive flow once and fans the fabric variants
+        result = run_sweep(
+            [planted_scenario(num_nodes=12, seed=11)],
+            axes={
+                "architecture": ("mesh", "custom"),
+                "topology": ("mesh", "torus"),
+                "routing_policy": ("xy", "up_down"),
+            },
+        )
+        assert result.num_cells == 8
+        # 4 distinct fabric cells + 1 shared custom evaluation
+        assert result.num_evaluations == 5
+        custom = [r for r in result.records if r.architecture == "custom"]
+        assert len({record.cache_key for record in custom}) == 1
+        fabric = [r for r in result.records if r.architecture == "mesh"]
+        assert len({record.cache_key for record in fabric}) == 4
+        # the deadlock gate stamped every routed cell
+        assert all(record.deadlock_free is not None for record in result.records)
+
     def test_renamed_scenario_reuses_cache_under_new_name(self, tmp_path):
         # the content hash excludes the display name: a rename must hit the
         # cache, and the shared record must be re-labeled per cell

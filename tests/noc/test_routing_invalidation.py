@@ -1,0 +1,175 @@
+"""Regression tests for the stale-cache bug class around routing snapshots.
+
+PR 4 introduced three layers of memoized routing state: the
+``RoutingTable.frozen_next_hop`` snapshot, the ``Network`` per-pair route
+memo, and the ``Network`` channel wiring (input ports + channel occupancy)
+materialized at construction.  These tests pin down the invalidation
+contract for each layer when table entries or topology channels are added
+after the first freeze.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.topology import Topology
+from repro.exceptions import RoutingError, SimulationError
+from repro.noc.network import Network
+from repro.noc.packet import Message
+from repro.noc.simulator import NoCSimulator, SimulatorConfig
+from repro.routing.table import RoutingTable
+
+
+def _line_topology() -> Topology:
+    """1 - 2 - 3 bidirectional line."""
+    topology = Topology(name="line")
+    topology.add_channel(1, 2, bidirectional=True)
+    topology.add_channel(2, 3, bidirectional=True)
+    return topology
+
+
+class TestFrozenSnapshotContract:
+    def test_snapshot_does_not_see_later_entries(self):
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        frozen = table.frozen_next_hop()
+        assert frozen(1, 3) == 2
+        table.install_path([3, 2, 1])  # added after the freeze
+        with pytest.raises(RoutingError):
+            frozen(3, 1)  # the snapshot is a deliberate point-in-time copy
+
+    def test_version_counter_detects_staleness(self):
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        frozen = table.frozen_next_hop()
+        assert frozen.table_version == table.version
+        table.install_path([3, 2, 1])
+        assert frozen.table_version != table.version  # stale and detectable
+        refrozen = table.frozen_next_hop()
+        assert refrozen.table_version == table.version
+        assert refrozen(3, 1) == 2
+
+    def test_idempotent_entries_do_not_bump_the_version(self):
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        version = table.version
+        table.install_path([1, 2, 3])  # same entries again
+        assert table.version == version
+
+
+class TestNetworkRouteMemo:
+    def test_swapping_routing_drops_memoized_decisions(self):
+        topology = Topology(name="square")
+        topology.add_channel("a", "b", bidirectional=True)
+        topology.add_channel("b", "d", bidirectional=True)
+        topology.add_channel("a", "c", bidirectional=True)
+        topology.add_channel("c", "d", bidirectional=True)
+        via_b = RoutingTable(topology)
+        via_b.install_path(["a", "b", "d"])
+        via_c = RoutingTable(topology)
+        via_c.install_path(["a", "c", "d"])
+        network = Network(topology, via_b.frozen_next_hop())
+        assert network.next_hop("a", "d") == "b"  # memoized now
+        network.routing = via_c.frozen_next_hop()
+        assert network.next_hop("a", "d") == "c"  # memo was dropped
+
+    def test_table_mutation_needs_refreeze_and_reassign(self):
+        """The end-to-end recipe for late table entries: re-freeze + assign."""
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        network = Network(topology, table.frozen_next_hop())
+        with pytest.raises(RoutingError):
+            network.next_hop(3, 1)
+        table.install_path([3, 2, 1])
+        network.routing = table.frozen_next_hop()
+        assert network.next_hop(3, 1) == 2
+
+
+class TestLateTopologyMutation:
+    def test_unsynced_late_channel_is_invisible(self):
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        network = Network(topology, table.frozen_next_hop())
+        topology.add_channel(1, 3)  # added after the network was wired
+        direct = RoutingTable(topology)  # fresh table: entries may not conflict
+        direct.install_path([1, 3])
+        network.routing = direct.frozen_next_hop()
+        # the routing layer resolves the hop, but the fabric was never wired:
+        # router 3 has no input port for the 1 -> 3 channel
+        assert network.next_hop(1, 3) == 3
+        with pytest.raises(SimulationError):
+            network.router(3).can_accept(1)
+        with pytest.raises(SimulationError):
+            network.router(3).accept(1, object())
+
+    def test_sync_topology_wires_late_channels_and_routers(self):
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        network = Network(topology, table.frozen_next_hop())
+        topology.add_channel(3, 4, bidirectional=True)  # new router + channels
+        topology.add_channel(1, 3)
+        network.sync_topology()
+        assert 4 in network.routers
+        assert (3, 4) in network.channel_free_at
+        assert (1, 3) in network.channel_free_at
+        assert network.router(3).can_accept(1)
+        assert network.router(4).can_accept(3)
+
+    def test_sync_topology_drops_stale_route_memo(self):
+        """A memoized decision must not survive a topology change that makes
+        a better (and differently-routed) channel available."""
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        network = Network(topology, table.frozen_next_hop())
+        assert network.next_hop(1, 3) == 2  # memoized against the old fabric
+        topology.add_channel(1, 3)
+        direct = RoutingTable(topology)  # fresh table: entries may not conflict
+        direct.install_path([1, 3])
+        network.routing = direct.frozen_next_hop()  # also clears the memo
+        network.sync_topology()
+        assert network.next_hop(1, 3) == 3
+
+    def test_simulation_crosses_a_late_added_channel_after_sync(self):
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        simulator = NoCSimulator(
+            topology, table.frozen_next_hop(), config=SimulatorConfig(max_cycles=1000)
+        )
+        topology.add_channel(3, 1)  # close the line into a cycle
+        table.install_path([3, 1])
+        simulator.network.routing = table.frozen_next_hop()
+        simulator.sync_topology()
+        simulator.schedule_messages(
+            [Message(source=3, destination=1, size_bits=32, tag="late")]
+        )
+        simulator.run_until_drained()
+        assert len(simulator.statistics.delivered_packets) == 1
+        assert simulator.statistics.average_hops() == pytest.approx(1.0)
+
+    def test_simulation_reaches_a_late_added_router_after_sync(self):
+        """A router (not just a channel) added post-construction must be
+        adopted by the engine's per-router bookkeeping too."""
+        topology = _line_topology()
+        table = RoutingTable(topology)
+        table.install_path([1, 2, 3])
+        simulator = NoCSimulator(
+            topology, table.frozen_next_hop(), config=SimulatorConfig(max_cycles=1000)
+        )
+        topology.add_channel(3, 4, bidirectional=True)  # brand-new router 4
+        table.install_path([1, 2, 3, 4])
+        simulator.network.routing = table.frozen_next_hop()
+        simulator.sync_topology()
+        simulator.schedule_messages(
+            [Message(source=1, destination=4, size_bits=32, tag="late-router")]
+        )
+        simulator.run_until_drained()
+        assert len(simulator.statistics.delivered_packets) == 1
+        assert simulator.statistics.average_hops() == pytest.approx(3.0)

@@ -193,3 +193,53 @@ class TestDeadlockAnalysis:
         report = aes_synthesis.architecture.deadlock_report
         assert report is not None
         assert report.is_deadlock_free
+
+
+class TestVirtualChannelHeuristic:
+    """The greedy feedback-edge heuristic must actually break every cycle."""
+
+    def _ring_with_naive_shortest_path(self, size: int = 8):
+        """A bidirectional ring routed by naive shortest-path: the two
+        directed rotation cycles make the all-pairs CDG cyclic."""
+        from repro.arch.families import RingTopology
+        from repro.routing.policies import build_policy_table
+
+        ring = RingTopology(list(range(1, size + 1)))
+        table = build_policy_table("shortest_path", ring)
+        pairs = [(s, d) for s in ring.routers() for d in ring.routers() if s != d]
+        return table, pairs
+
+    def test_ring_cdg_is_cyclic_and_channels_are_reported(self):
+        table, pairs = self._ring_with_naive_shortest_path()
+        report = analyze_deadlock(table, pairs)
+        assert not report.is_deadlock_free
+        assert report.channels_needing_virtual_channels
+        # a ring has (at least) one dependency cycle per rotation direction
+        assert len(report.channels_needing_virtual_channels) >= 2
+
+    def test_chosen_channels_break_every_cycle(self):
+        """Duplicating exactly the returned channels (modelled as removing
+        their CDG vertices: traffic moves to the fresh virtual channel)
+        must leave the dependency graph acyclic."""
+        table, pairs = self._ring_with_naive_shortest_path()
+        report = analyze_deadlock(table, pairs)
+        cdg = build_channel_dependency_graph(table, pairs)
+        assert cdg.find_cycle() is not None
+        for channel in report.channels_needing_virtual_channels:
+            cdg.remove_node(channel)
+        assert cdg.find_cycle() is None
+
+    def test_chosen_channels_break_cycles_on_a_torus_dateline(self):
+        """Same contract on a 2-D wraparound fabric under dateline routing."""
+        from repro.arch.families import TorusTopology
+        from repro.routing.policies import build_policy_table
+
+        torus = TorusTopology(4, 4)
+        table = build_policy_table("dateline", torus)
+        pairs = [(s, d) for s in torus.routers() for d in torus.routers() if s != d]
+        report = analyze_deadlock(table, pairs)
+        assert not report.is_deadlock_free
+        cdg = build_channel_dependency_graph(table, pairs)
+        for channel in report.channels_needing_virtual_channels:
+            cdg.remove_node(channel)
+        assert cdg.find_cycle() is None
