@@ -18,9 +18,15 @@ The public API is organised in subpackages:
 * :mod:`repro.floorplan` — simple floorplanner providing core coordinates.
 * :mod:`repro.workloads` — TGFF-like and Pajek-like benchmark generators.
 * :mod:`repro.aes` — AES-128 and its distributed 16-node byte-slice model.
+* :mod:`repro.plugins` — the registry kernel behind every extension point
+  and ``repro.plugins`` entry-point discovery for third-party packages.
+* :mod:`repro.io` — graph interchange (Pajek, Graphviz DOT, weighted edge
+  lists) with exact round-trips for workloads and fabrics.
+* :mod:`repro.api` — the stable, lazily-imported facade for downstream code.
 * :mod:`repro.experiments` — the experiments behind every figure and table.
-* :mod:`repro.dse` — batch design-space exploration: scenario suites, a
-  cached sweep runner and Pareto-front reporting (``python -m repro.dse``).
+* :mod:`repro.dse` — batch design-space exploration: scenario suites
+  (including ``file:`` suites over interchange files), a cached sweep
+  runner and Pareto-front reporting (``python -m repro.dse``).
 
 Quickstart::
 

@@ -4,6 +4,7 @@ topologies and structural metrics."""
 
 from repro.arch.custom import ChannelOrigin, CustomTopology
 from repro.arch.families import (
+    FAMILIES,
     FamilySpec,
     FatTreeTopology,
     LongRangeMeshTopology,
@@ -33,6 +34,7 @@ from repro.arch.topology import Channel, Topology
 
 __all__ = [
     "Topology",
+    "FAMILIES",
     "Channel",
     "MeshTopology",
     "MeshCoordinates",

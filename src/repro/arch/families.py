@@ -45,7 +45,8 @@ from dataclasses import dataclass
 
 from repro.arch.mesh import MeshTopology
 from repro.arch.topology import Topology
-from repro.exceptions import ConfigurationError, SynthesisError
+from repro.exceptions import SynthesisError
+from repro.plugins import Registry
 
 NodeId = Hashable
 
@@ -361,28 +362,30 @@ class FamilySpec:
         )
 
 
-_FAMILIES: dict[str, FamilySpec] = {}
+#: the topology-family registry: one :class:`repro.plugins.Registry` cell
+#: of the plugin fabric (third-party families register here, directly or
+#: through the ``repro.plugins`` entry-point group)
+FAMILIES: Registry[FamilySpec] = Registry("topology family")
 
 
 def register_family(spec: FamilySpec) -> FamilySpec:
     """Register (or replace) a topology family under its name."""
-    _FAMILIES[spec.name] = spec
-    return spec
+    return FAMILIES.register(spec.name, spec)
 
 
 def family_names() -> list[str]:
-    """All registered family names, sorted."""
-    return sorted(_FAMILIES)
+    """All registered family names, sorted (after plugin discovery)."""
+    return FAMILIES.names()
 
 
 def get_family(name: str) -> FamilySpec:
-    """Look a family up by name (raises :class:`ConfigurationError`)."""
-    try:
-        return _FAMILIES[name]
-    except KeyError as error:
-        raise ConfigurationError(
-            f"unknown topology family {name!r}; available: {family_names()}"
-        ) from error
+    """Look a family up by name.
+
+    Raises :class:`~repro.exceptions.UnknownPluginError` (a
+    :class:`~repro.exceptions.ConfigurationError`) listing the available
+    families and the nearest match when the name is unknown.
+    """
+    return FAMILIES.get(name)
 
 
 def build_fabric(

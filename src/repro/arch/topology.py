@@ -201,6 +201,37 @@ class Topology:
             graph.add_edge(source, target)
         return graph
 
+    def signature(self) -> dict[str, object]:
+        """Canonical structural identity of the fabric (interchange contract).
+
+        Routers, positions and channel attributes with node ids stringified
+        and orders canonicalized — the topology analogue of
+        :meth:`repro.dse.pipeline.Scenario.structural_fingerprint`.  The
+        :mod:`repro.io` round-trip guarantee is exactly that exporting a
+        topology to any registered format and re-importing it preserves
+        this signature (the display name and the concrete Python node
+        types are allowed to change; the fabric is not).
+        """
+        positions = {
+            str(node): (position.x, position.y)
+            for node, position in self._positions.items()
+        }
+        return {
+            "flit_width_bits": int(self.flit_width_bits),
+            "routers": sorted(str(node) for node in self._routers),
+            "positions": {key: positions[key] for key in sorted(positions)},
+            "channels": sorted(
+                (
+                    str(channel.source),
+                    str(channel.target),
+                    float(channel.length_mm),
+                    int(channel.width_bits),
+                    float(channel.bandwidth_bits_per_cycle),
+                )
+                for channel in self._channels.values()
+            ),
+        }
+
     def total_wire_length_mm(self) -> float:
         """Total physical wire length (each bidirectional pair counted once)."""
         seen: set[frozenset[NodeId]] = set()

@@ -53,14 +53,24 @@ from repro.dse.cache import (
     synthesis_stage_key,
 )
 from repro.dse.pipeline import (
+    LIBRARIES,
+    SCORES,
+    STRATEGIES,
+    TRAFFIC_MODES,
     ArchitectureMetrics,
     EvaluationSettings,
     Scenario,
+    TrafficModeSpec,
     baseline_route_stage,
     build_baseline_fabric,
     build_baseline_mesh,
     decompose_stage,
     evaluate,
+    get_library,
+    get_traffic_mode,
+    register_library,
+    register_score,
+    register_traffic_mode,
     route_stage,
     score_stage,
     simulate_acg_traffic,
@@ -90,15 +100,20 @@ from repro.dse.runner import (
     run_sweep,
 )
 from repro.dse.scenarios import (
+    FILE_SUITE_PREFIX,
+    SUITES,
     SuiteSpec,
     aes_scenario,
     build_suite,
     describe_suites,
     embedded_scenario,
     erdos_renyi_scenario,
+    file_scenario,
+    file_suite,
     get_suite,
     planted_scenario,
     register_suite,
+    resolve_suite,
     scale_free_scenario,
     scenario_rows,
     suite_names,
@@ -149,9 +164,24 @@ __all__ = [
     "SuiteSpec",
     "register_suite",
     "get_suite",
+    "resolve_suite",
     "build_suite",
     "suite_names",
     "describe_suites",
+    "SUITES",
+    "FILE_SUITE_PREFIX",
+    "file_scenario",
+    "file_suite",
+    "LIBRARIES",
+    "STRATEGIES",
+    "TRAFFIC_MODES",
+    "SCORES",
+    "TrafficModeSpec",
+    "get_library",
+    "register_library",
+    "get_traffic_mode",
+    "register_traffic_mode",
+    "register_score",
     "scenario_rows",
     "aes_scenario",
     "embedded_scenario",

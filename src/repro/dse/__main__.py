@@ -1,15 +1,22 @@
-"""Command-line entry point: ``python -m repro.dse <run|report|list-scenarios|list-fabrics>``.
+"""Command-line entry point: ``python -m repro.dse <run|report|list-scenarios|list-fabrics|import-workload|export-topology>``.
 
 Examples::
 
     python -m repro.dse list-scenarios
     python -m repro.dse list-fabrics
     python -m repro.dse run --suite smoke
+    python -m repro.dse run --suite file:examples/graphs/pipeline8.net
     python -m repro.dse run --suite random --parallel --axis library=default,extended
     python -m repro.dse run --suite fabrics --topology mesh,torus,ring \\
         --routing-policy xy,dateline,up_down
     python -m repro.dse report
     python -m repro.dse report --suite smoke --csv sweep.csv
+    python -m repro.dse import-workload app.net --out app.dot
+    python -m repro.dse export-topology --family torus --cores 16 --out torus.dot
+
+``--suite`` accepts registered suite names and ``file:PATH`` — the path
+is imported through :mod:`repro.io` (Pajek/DOT/edge-list by extension)
+and swept as a one-scenario suite.
 
 ``run`` executes a suite's grid against the on-disk caches (re-runs only
 evaluate new cells, and cells differing only in simulator axes share one
@@ -39,7 +46,7 @@ from repro.dse.analysis import (
 )
 from repro.dse.cache import ResultCache, StageArtifactStore
 from repro.dse.runner import run_sweep
-from repro.dse.scenarios import build_suite, describe_suites, get_suite, scenario_rows
+from repro.dse.scenarios import build_suite, describe_suites, resolve_suite, scenario_rows
 from repro.exceptions import ConfigurationError, ReproError
 
 DEFAULT_RESULTS = Path("dse_results") / "results.jsonl"
@@ -83,7 +90,7 @@ def _artifact_store(arguments: argparse.Namespace) -> StageArtifactStore | None:
 
 
 def _cmd_run(arguments: argparse.Namespace) -> int:
-    spec = get_suite(arguments.suite)
+    spec = resolve_suite(arguments.suite)
     scenarios = spec.build()
     axes = dict(spec.default_axes)
     axes.update(_parse_axes(arguments.axis))
@@ -209,6 +216,40 @@ def _cmd_list_fabrics(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import_workload(arguments: argparse.Namespace) -> int:
+    from repro.core.graph import GraphStatistics
+    from repro.io import read_workload, write_workload
+
+    acg = read_workload(arguments.path, fmt=arguments.format, name=arguments.name)
+    stats = GraphStatistics.of(acg)
+    print(f"workload {acg.name!r}: {stats.num_nodes} nodes, {stats.num_edges} edges, "
+          f"total volume {stats.total_volume:g} bits, "
+          f"{'connected' if stats.is_connected else f'{stats.num_components} components'}")
+    if arguments.out:
+        write_workload(acg, arguments.out, fmt=arguments.out_format)
+        print(f"wrote {arguments.out}")
+    print("sweep it with: python -m repro.dse run "
+          f"--suite file:{arguments.path}")
+    return 0
+
+
+def _cmd_export_topology(arguments: argparse.Namespace) -> int:
+    from repro.arch.families import get_family, pad_node_ids
+    from repro.io import write_topology
+
+    spec = get_family(arguments.family)
+    fabric = spec.build(
+        pad_node_ids(spec, range(1, arguments.cores + 1)),
+        tile_pitch_mm=arguments.tile_pitch,
+        flit_width_bits=arguments.flit_width,
+    )
+    write_topology(fabric, arguments.out, fmt=arguments.format)
+    print(f"wrote {arguments.out}: family {arguments.family!r}, "
+          f"{fabric.num_routers} routers, {fabric.num_physical_links} links, "
+          f"total wire {fabric.total_wire_length_mm():g} mm")
+    return 0
+
+
 def _cmd_list_scenarios(arguments: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
 
@@ -238,7 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
         "through the stage-artifact store. See docs/dse.md for a worked example.",
     )
     run.add_argument("--suite", default="smoke",
-                     help="scenario suite name, see list-scenarios (default: smoke)")
+                     help="scenario suite name (see list-scenarios) or file:PATH "
+                          "to sweep an imported workload graph (default: smoke)")
     run.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
                      help=f"JSONL result cache file (default: {DEFAULT_RESULTS})")
     run.add_argument("--artifacts", type=Path, default=None, metavar="DIR",
@@ -310,6 +352,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="probe core count used for the size columns "
                               "(default: 16)")
     fabrics.set_defaults(handler=_cmd_list_fabrics)
+
+    importer = commands.add_parser(
+        "import-workload",
+        help="read a workload graph file and summarize/convert it",
+        description="Read an application graph through the repro.io format "
+        "registry (Pajek .net, Graphviz DOT, weighted edge list — detected "
+        "from the extension unless --format pins it), print its statistics, "
+        "and optionally convert it with --out. Sweep the file directly with "
+        "run --suite file:PATH. See docs/interchange.md.",
+    )
+    importer.add_argument("path", type=Path, help="workload graph file to read")
+    importer.add_argument("--format", default=None,
+                          help="input format name (default: by file extension)")
+    importer.add_argument("--name", default=None,
+                          help="workload name override (default: the file stem)")
+    importer.add_argument("--out", type=Path, default=None, metavar="FILE",
+                          help="also write the graph to FILE (default: no export)")
+    importer.add_argument("--out-format", dest="out_format", default=None,
+                          help="output format name for --out "
+                               "(default: by file extension)")
+    importer.set_defaults(handler=_cmd_import_workload)
+
+    exporter = commands.add_parser(
+        "export-topology",
+        help="instantiate a fabric family and write it to a graph file",
+        description="Build a topology family at a given core count (node ids "
+        "1..N padded per the family's rule) and write it through the repro.io "
+        "format registry. The exported file re-imports with an identical "
+        "structural signature. See docs/interchange.md.",
+    )
+    exporter.add_argument("--family", required=True,
+                          help="topology family name (see list-fabrics)")
+    exporter.add_argument("--cores", type=int, default=16,
+                          help="application core count (default: 16)")
+    exporter.add_argument("--tile-pitch", dest="tile_pitch", type=float, default=2.0,
+                          help="tile pitch in mm (default: 2.0)")
+    exporter.add_argument("--flit-width", dest="flit_width", type=int, default=32,
+                          help="flit width in bits (default: 32)")
+    exporter.add_argument("--out", type=Path, required=True, metavar="FILE",
+                          help="output file; extension picks the format unless "
+                               "--format is given")
+    exporter.add_argument("--format", default=None,
+                          help="output format name (default: by file extension)")
+    exporter.set_defaults(handler=_cmd_export_topology)
     return parser
 
 

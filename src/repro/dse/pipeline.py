@@ -82,6 +82,7 @@ from repro.exceptions import (
 from repro.noc.simulator import ENGINE_EVENT, ENGINES, NoCSimulator, SimulatorConfig
 from repro.noc.stats import throughput_mbps_from_cycles
 from repro.noc.traffic import acg_messages
+from repro.plugins import Registry
 from repro.routing.deadlock import DeadlockReport, analyze_deadlock
 from repro.routing.policies import get_policy
 from repro.routing.table import RoutingTable
@@ -96,17 +97,80 @@ TRAFFIC_AES_PHASES = "aes_phases"
 #: bits per AES block (the paper's throughput unit)
 AES_BLOCK_SIZE_BITS = 128
 
-LIBRARIES: dict[str, Callable[[], CommunicationLibrary]] = {
-    "minimal": minimal_library,
-    "default": default_library,
-    "extended": extended_library,
-    "aes": aes_library,
-}
+#: the communication-library registry (plugin-fabric cell: third-party
+#: libraries register here, directly or via the entry-point group)
+LIBRARIES: Registry[Callable[[], CommunicationLibrary]] = Registry("communication library")
+LIBRARIES.register("minimal", minimal_library)
+LIBRARIES.register("default", default_library)
+LIBRARIES.register("extended", extended_library)
+LIBRARIES.register("aes", aes_library)
 
-STRATEGIES: dict[str, SearchStrategy] = {
-    "branch_and_bound": SearchStrategy.BRANCH_AND_BOUND,
-    "greedy": SearchStrategy.GREEDY,
-}
+#: the decomposition search-strategy registry
+STRATEGIES: Registry[SearchStrategy] = Registry("search strategy")
+STRATEGIES.register("branch_and_bound", SearchStrategy.BRANCH_AND_BOUND)
+STRATEGIES.register("greedy", SearchStrategy.GREEDY)
+
+
+def get_library(name: str) -> Callable[[], CommunicationLibrary]:
+    """Look a communication-library factory up by name (uniform errors)."""
+    return LIBRARIES.get(name)
+
+
+def register_library(name: str, factory: Callable[[], CommunicationLibrary]) -> None:
+    """Register (or replace) a communication-library factory."""
+    LIBRARIES.register(name, factory)
+
+
+@dataclass(frozen=True)
+class TrafficModeSpec:
+    """One named way to drive the simulator with a scenario's traffic.
+
+    ``simulate(scenario, settings, name, topology, routing)`` runs the
+    workload on one architecture and returns the measured
+    :class:`ArchitectureMetrics`.  The built-in modes are ``"acg"``
+    (inject every ACG edge's volume per repetition, drain between
+    repetitions) and ``"aes_phases"`` (the dependency-aware distributed-AES
+    phase trace); third-party traffic generators register additional modes
+    through the plugin fabric and become usable from any
+    :class:`Scenario`.
+    """
+
+    name: str
+    description: str
+    simulate: Callable[
+        ["Scenario", "EvaluationSettings", str, Topology, RoutingFunction],
+        "ArchitectureMetrics",
+    ]
+
+
+#: the traffic-mode registry (plugin-fabric cell: third-party traffic
+#: generators register here, directly or via the entry-point group)
+TRAFFIC_MODES: Registry[TrafficModeSpec] = Registry("traffic mode")
+
+
+def get_traffic_mode(name: str) -> TrafficModeSpec:
+    """Look a traffic mode up by name (uniform errors)."""
+    return TRAFFIC_MODES.get(name)
+
+
+def register_traffic_mode(spec: TrafficModeSpec) -> TrafficModeSpec:
+    """Register (or replace) a traffic mode under its name."""
+    return TRAFFIC_MODES.register(spec.name, spec)
+
+
+#: the scoring-function registry: extra per-cell figures of merit.
+#: Each registered ``fn(metrics, topology) -> float`` contributes one
+#: ``{name: value}`` column to every record :func:`score_stage` produces;
+#: nothing is registered by default, so the built-in record shape is
+#: unchanged until a caller (or an entry-point plugin) adds scores.
+SCORES: Registry[Callable[["ArchitectureMetrics", Topology], float]] = Registry(
+    "scoring function"
+)
+
+
+def register_score(name: str, fn: Callable[["ArchitectureMetrics", Topology], float]):
+    """Register (or replace) an extra scoring function under ``name``."""
+    return SCORES.register(name, fn)
 
 
 # ----------------------------------------------------------------------
@@ -169,12 +233,8 @@ class EvaluationSettings:
             raise ConfigurationError(
                 f"unknown architecture {self.architecture!r} (use 'custom' or 'mesh')"
             )
-        if self.strategy not in STRATEGIES:
-            raise ConfigurationError(f"unknown search strategy {self.strategy!r}")
-        if self.library not in LIBRARIES:
-            raise ConfigurationError(
-                f"unknown library {self.library!r}; available: {sorted(LIBRARIES)}"
-            )
+        STRATEGIES.get(self.strategy)  # raises UnknownPluginError when unknown
+        LIBRARIES.get(self.library)  # raises UnknownPluginError when unknown
         get_family(self.topology)  # raises ConfigurationError when unknown
         get_policy(self.routing_policy)  # raises ConfigurationError when unknown
         if self.engine not in ENGINES:
@@ -289,7 +349,7 @@ class EvaluationSettings:
     def build_decomposition_config(self) -> DecompositionConfig:
         """The decompose-stage knobs as a :class:`DecompositionConfig`."""
         return DecompositionConfig(
-            strategy=STRATEGIES[self.strategy],
+            strategy=STRATEGIES.get(self.strategy),
             max_matchings_per_primitive=self.max_matchings_per_primitive,
             isomorphism_timeout_seconds=self.isomorphism_timeout_seconds,
             total_timeout_seconds=self.decomposition_timeout_seconds,
@@ -298,7 +358,7 @@ class EvaluationSettings:
 
     def build_library(self) -> CommunicationLibrary:
         """Instantiate the named communication library."""
-        return LIBRARIES[self.library]()
+        return LIBRARIES.get(self.library)()
 
     def build_synthesis_options(self) -> SynthesisOptions:
         """The synthesize/route-stage knobs as :class:`SynthesisOptions`."""
@@ -348,8 +408,7 @@ class Scenario:
     the AES scenario pins ``library='aes'`` and full-duplex links)."""
 
     def __post_init__(self) -> None:
-        if self.traffic not in (TRAFFIC_ACG, TRAFFIC_AES_PHASES):
-            raise ConfigurationError(f"unknown traffic mode {self.traffic!r}")
+        TRAFFIC_MODES.get(self.traffic)  # raises UnknownPluginError when unknown
         if self.repetitions < 1 or self.aes_blocks < 1:
             raise ConfigurationError("repetitions and aes_blocks must be at least 1")
 
@@ -684,29 +743,71 @@ def simulate_stage(
     topology: Topology,
     routing: RoutingFunction,
 ) -> ArchitectureMetrics:
-    """Stage 4: drive the cycle-level simulator with the scenario's traffic."""
-    technology = settings.build_technology()
-    simulator_config = settings.build_simulator_config()
-    if scenario.traffic == TRAFFIC_AES_PHASES:
-        return simulate_aes_traffic(
-            name,
-            topology,
-            routing,
-            blocks=scenario.aes_blocks,
-            technology=technology,
-            simulator_config=simulator_config,
-            computation_cycles_per_phase=scenario.computation_cycles_per_phase,
-        )
+    """Stage 4: drive the cycle-level simulator with the scenario's traffic.
+
+    Dispatches through the :data:`TRAFFIC_MODES` registry, so a scenario
+    whose ``traffic`` names a plugin-registered mode simulates exactly like
+    the built-in ACG-batch and AES-phase modes.
+    """
+    return get_traffic_mode(scenario.traffic).simulate(
+        scenario, settings, name, topology, routing
+    )
+
+
+def _simulate_acg_mode(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    name: str,
+    topology: Topology,
+    routing: RoutingFunction,
+) -> ArchitectureMetrics:
+    """The ``"acg"`` traffic mode: batched ACG volumes, drained per repetition."""
     return simulate_acg_traffic(
         name,
         topology,
         routing,
         scenario.acg,
-        technology=technology,
-        simulator_config=simulator_config,
+        technology=settings.build_technology(),
+        simulator_config=settings.build_simulator_config(),
         repetitions=scenario.repetitions,
         packet_size_bits=scenario.packet_size_bits,
     )
+
+
+def _simulate_aes_mode(
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    name: str,
+    topology: Topology,
+    routing: RoutingFunction,
+) -> ArchitectureMetrics:
+    """The ``"aes_phases"`` traffic mode: dependency-aware AES phase traces."""
+    return simulate_aes_traffic(
+        name,
+        topology,
+        routing,
+        blocks=scenario.aes_blocks,
+        technology=settings.build_technology(),
+        simulator_config=settings.build_simulator_config(),
+        computation_cycles_per_phase=scenario.computation_cycles_per_phase,
+    )
+
+
+register_traffic_mode(
+    TrafficModeSpec(
+        name=TRAFFIC_ACG,
+        description="inject every ACG edge's volume per repetition and drain",
+        simulate=_simulate_acg_mode,
+    )
+)
+
+register_traffic_mode(
+    TrafficModeSpec(
+        name=TRAFFIC_AES_PHASES,
+        description="dependency-aware distributed-AES phase trace",
+        simulate=_simulate_aes_mode,
+    )
+)
 
 
 def score_stage(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, float]:
@@ -716,8 +817,12 @@ def score_stage(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, f
     ``total_cycles`` it says how much dead time the configured simulator
     engine skipped for this cell (the engine name itself sits in the
     record's ``settings["engine"]``).
+
+    Every function in the :data:`SCORES` registry contributes one extra
+    ``{name: value}`` column on top of the built-in figures (a registered
+    score that reuses a built-in key deliberately shadows it).
     """
-    return {
+    scores = {
         "sim_cycles_stepped": float(metrics.cycles_stepped),
         "total_cycles": float(metrics.total_cycles),
         "cycles_per_iteration": metrics.cycles_per_block,
@@ -731,6 +836,9 @@ def score_stage(metrics: ArchitectureMetrics, topology: Topology) -> dict[str, f
         "max_channel_utilization": metrics.max_channel_utilization,
         "total_wire_mm": topology.total_wire_length_mm(),
     }
+    for score_name in SCORES.names():
+        scores[score_name] = float(SCORES.get(score_name)(metrics, topology))
+    return scores
 
 
 def _apply_deadlock_gate(

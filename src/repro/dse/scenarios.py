@@ -19,11 +19,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.aes.acg import build_aes_acg
 from repro.core.graph import ApplicationGraph
 from repro.dse.pipeline import TRAFFIC_AES_PHASES, EvaluationSettings, Scenario
-from repro.exceptions import ConfigurationError
+from repro.plugins import Registry
 from repro.workloads.acg_builder import attach_grid_floorplan
 from repro.workloads.benchmarks import embedded_benchmark_acg, embedded_benchmark_names
 from repro.workloads.pajek import erdos_renyi_acg, planted_primitive_acg
@@ -157,40 +158,101 @@ class SuiteSpec:
         return self.factory()
 
 
-_SUITES: dict[str, SuiteSpec] = {}
+#: the scenario-suite registry: one :class:`repro.plugins.Registry` cell
+#: of the plugin fabric (third-party suites register here, directly or
+#: through the ``repro.plugins`` entry-point group)
+SUITES: Registry[SuiteSpec] = Registry("scenario suite")
+
+#: suite-name prefix that loads a workload file instead of a registered
+#: suite: ``file:path/to/graph.net`` (any :mod:`repro.io` format)
+FILE_SUITE_PREFIX = "file:"
 
 
 def register_suite(spec: SuiteSpec) -> SuiteSpec:
     """Register (or replace) a suite under its name."""
-    _SUITES[spec.name] = spec
-    return spec
+    return SUITES.register(spec.name, spec)
 
 
 def suite_names() -> list[str]:
-    """All registered suite names, sorted."""
-    return sorted(_SUITES)
+    """All registered suite names, sorted (after plugin discovery)."""
+    return SUITES.names()
 
 
 def get_suite(name: str) -> SuiteSpec:
-    """Look a suite up by name (raises :class:`ConfigurationError`)."""
-    try:
-        return _SUITES[name]
-    except KeyError as error:
-        raise ConfigurationError(
-            f"unknown scenario suite {name!r}; available: {suite_names()}"
-        ) from error
+    """Look a suite up by name.
+
+    Raises :class:`~repro.exceptions.UnknownPluginError` (a
+    :class:`~repro.exceptions.ConfigurationError`) listing the available
+    suites and the nearest match when the name is unknown.
+    """
+    return SUITES.get(name)
+
+
+def resolve_suite(name: str) -> SuiteSpec:
+    """A suite by registered name, or from a workload file via ``file:``.
+
+    ``resolve_suite("smoke")`` is :func:`get_suite`;
+    ``resolve_suite("file:acg.net")`` builds a one-scenario suite around
+    :func:`file_scenario` — the CLI accepts both everywhere a suite name
+    is taken.
+    """
+    if name.startswith(FILE_SUITE_PREFIX):
+        return file_suite(name[len(FILE_SUITE_PREFIX) :])
+    return get_suite(name)
+
+
+def file_scenario(
+    path: str | Path, fmt: str | None = None, name: str | None = None
+) -> Scenario:
+    """One scenario around an imported workload file (any supported format).
+
+    The graph is read through :func:`repro.io.read_workload` (format
+    detected from the extension unless ``fmt`` pins it); cores without
+    floorplan positions get the deterministic grid floorplan every
+    generated scenario uses.  Cache identity comes from the graph content
+    (the structural fingerprint), never from the file path, so moving or
+    renaming the file does not invalidate cached sweep cells.
+    """
+    from repro.io import read_workload
+
+    path = Path(path)
+    acg = read_workload(path, fmt=fmt, name=name)
+    if not all(acg.has_position(node) for node in acg.nodes()):
+        attach_grid_floorplan(acg)
+    return Scenario(
+        name=name or path.stem,
+        acg=acg,
+        description=f"imported workload ({path.name})",
+        params={"origin": "file"},
+    )
+
+
+def file_suite(path: str | Path, fmt: str | None = None) -> SuiteSpec:
+    """A one-scenario suite over an imported workload file.
+
+    The default grid mirrors the ``smoke`` suite's architecture axis
+    (mesh baseline vs custom synthesis) so ``python -m repro.dse run
+    --suite file:acg.net`` compares both out of the box.
+    """
+    scenario = file_scenario(path, fmt=fmt)
+    return SuiteSpec(
+        name=f"{FILE_SUITE_PREFIX}{path}",
+        description=f"imported workload file {path}",
+        factory=lambda: [scenario],
+        default_axes={"architecture": ("mesh", "custom")},
+    )
 
 
 def build_suite(name: str) -> list[Scenario]:
-    """Build the named suite's scenario list."""
-    return get_suite(name).build()
+    """Build the named (or ``file:``) suite's scenario list."""
+    return resolve_suite(name).build()
 
 
 def describe_suites() -> list[dict[str, object]]:
     """Summary rows for ``list-scenarios`` style reporting."""
     rows = []
     for name in suite_names():
-        spec = _SUITES[name]
+        spec = SUITES.get(name)
         scenarios = spec.build()
         rows.append(
             {

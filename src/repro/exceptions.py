@@ -111,3 +111,36 @@ class EnergyModelError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when experiment or benchmark configuration is invalid."""
+
+
+class PluginError(ConfigurationError):
+    """Raised for plugin-registry problems (bad registrations, load failures)."""
+
+
+class UnknownPluginError(PluginError):
+    """Raised when a registry lookup names no registered object.
+
+    Every registry built on :class:`repro.plugins.Registry` — topology
+    families, routing policies, scenario suites, communication libraries,
+    traffic modes, interchange formats — raises this one exception type,
+    with the same message shape: the kind of thing looked up, the unknown
+    name, the sorted available names, and (when close enough) a
+    nearest-match suggestion.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        available: list[str] | None = None,
+        suggestion: str | None = None,
+    ) -> None:
+        names = sorted(available or [])
+        message = f"unknown {kind} {name!r}; available: {names or 'none'}"
+        if suggestion:
+            message += f" (did you mean {suggestion!r}?)"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.available = names
+        self.suggestion = suggestion

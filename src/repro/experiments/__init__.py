@@ -20,6 +20,7 @@ from repro.experiments.comparison import (
     evaluate_custom,
     evaluate_fabric,
     evaluate_mesh,
+    export_comparison_topologies,
     run_prototype_comparison,
 )
 from repro.experiments.example_decomposition import (
@@ -54,6 +55,7 @@ __all__ = [
     "PAPER_AES_COST",
     "PAPER_AES_PRIMITIVES",
     "run_prototype_comparison",
+    "export_comparison_topologies",
     "evaluate_fabric",
     "evaluate_mesh",
     "evaluate_custom",

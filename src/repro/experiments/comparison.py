@@ -25,6 +25,7 @@ and the same dependency-aware AES traffic (the phases traced by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.arch.families import build_fabric, pad_node_ids
 from repro.core.synthesis import SynthesizedArchitecture
@@ -219,6 +220,36 @@ def evaluate_custom(
         config,
         computation_cycles_per_phase=computation_cycles_per_phase,
     )
+
+
+def export_comparison_topologies(
+    out_dir: str | Path,
+    synthesis: AesSynthesisResult | None = None,
+    fmt: str = "dot",
+    tile_pitch_mm: float = 2.0,
+) -> dict[str, Path]:
+    """Write both Section-5.2 fabrics (mesh baseline and custom) to files.
+
+    The files go through the :mod:`repro.io` format registry, so any
+    registered interchange format works; the default DOT renders the
+    figure-style topology pair directly with Graphviz.  Returns the
+    written paths keyed by architecture name.
+    """
+    from repro.io import get_format, write_topology
+
+    synthesis = synthesis or run_aes_synthesis()
+    extension = get_format(fmt).extensions[0]
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    mesh = build_fabric("mesh", pad_node_ids("mesh", range(1, 17)),
+                        tile_pitch_mm=tile_pitch_mm)
+    paths = {
+        "mesh": directory / f"mesh{extension}",
+        "custom": directory / f"custom{extension}",
+    }
+    write_topology(mesh, paths["mesh"], fmt=fmt)
+    write_topology(synthesis.architecture.topology, paths["custom"], fmt=fmt)
+    return paths
 
 
 def run_prototype_comparison(

@@ -9,6 +9,7 @@ from repro.routing.deadlock import (
     build_channel_dependency_graph,
 )
 from repro.routing.policies import (
+    POLICIES,
     PolicySpec,
     build_policy_table,
     get_policy,
@@ -27,6 +28,7 @@ from repro.routing.xy import build_xy_routing_table, xy_next_hop, xy_route
 
 __all__ = [
     "RoutingTable",
+    "POLICIES",
     "PolicySpec",
     "register_policy",
     "policy_names",

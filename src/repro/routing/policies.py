@@ -44,7 +44,8 @@ from dataclasses import dataclass
 from repro.arch.families import RingTopology, TorusTopology
 from repro.arch.mesh import MeshTopology
 from repro.arch.topology import Topology
-from repro.exceptions import ConfigurationError, RoutingError
+from repro.exceptions import RoutingError
+from repro.plugins import Registry
 from repro.routing.table import RoutingTable
 from repro.routing.xy import xy_next_hop
 
@@ -357,28 +358,30 @@ class PolicySpec:
         return self.builder(topology, pairs)
 
 
-_POLICIES: dict[str, PolicySpec] = {}
+#: the routing-policy registry: one :class:`repro.plugins.Registry` cell
+#: of the plugin fabric (third-party policies register here, directly or
+#: through the ``repro.plugins`` entry-point group)
+POLICIES: Registry[PolicySpec] = Registry("routing policy")
 
 
 def register_policy(spec: PolicySpec) -> PolicySpec:
     """Register (or replace) a routing policy under its name."""
-    _POLICIES[spec.name] = spec
-    return spec
+    return POLICIES.register(spec.name, spec)
 
 
 def policy_names() -> list[str]:
-    """All registered policy names, sorted."""
-    return sorted(_POLICIES)
+    """All registered policy names, sorted (after plugin discovery)."""
+    return POLICIES.names()
 
 
 def get_policy(name: str) -> PolicySpec:
-    """Look a policy up by name (raises :class:`ConfigurationError`)."""
-    try:
-        return _POLICIES[name]
-    except KeyError as error:
-        raise ConfigurationError(
-            f"unknown routing policy {name!r}; available: {policy_names()}"
-        ) from error
+    """Look a policy up by name.
+
+    Raises :class:`~repro.exceptions.UnknownPluginError` (a
+    :class:`~repro.exceptions.ConfigurationError`) listing the available
+    policies and the nearest match when the name is unknown.
+    """
+    return POLICIES.get(name)
 
 
 def build_policy_table(
@@ -392,7 +395,7 @@ def build_policy_table(
 
 def supported_policies(topology: Topology) -> list[str]:
     """Names of every registered policy applicable to ``topology``."""
-    return [name for name in policy_names() if _POLICIES[name].supports(topology)]
+    return [name for name in policy_names() if POLICIES.get(name).supports(topology)]
 
 
 def _next_hop_builder(next_hop: NextHopFunction):

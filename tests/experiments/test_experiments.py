@@ -14,6 +14,7 @@ from repro.experiments.comparison import (
     PAPER_RESULTS,
     evaluate_custom,
     evaluate_mesh,
+    export_comparison_topologies,
     run_prototype_comparison,
 )
 from repro.experiments.example_decomposition import EXPECTED_PRIMITIVE_COUNTS, run_figure5_example
@@ -214,6 +215,22 @@ class TestPrototypeComparison:
         rows = comparison.to_rows()
         assert len(rows) == 2
         assert rows[0]["architecture"] == "mesh_4x4"
+
+
+class TestExportComparisonTopologies:
+    def test_writes_both_fabrics_exactly(self, aes_synthesis, tmp_path):
+        from repro.io import read_topology
+
+        paths = export_comparison_topologies(tmp_path, synthesis=aes_synthesis)
+        assert sorted(paths) == ["custom", "mesh"]
+        assert read_topology(paths["mesh"]).num_routers == 16
+        custom = read_topology(paths["custom"])
+        assert custom.signature() == aes_synthesis.architecture.topology.signature()
+
+    def test_any_registered_format_works(self, aes_synthesis, tmp_path):
+        paths = export_comparison_topologies(tmp_path, synthesis=aes_synthesis,
+                                             fmt="pajek")
+        assert paths["mesh"].suffix == ".net"
 
 
 class TestAblations:
