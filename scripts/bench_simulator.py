@@ -17,6 +17,16 @@ Usage::
 ``--check`` exits non-zero unless, on every workload, the two engines'
 reports are identical and the event engine executed strictly fewer cycles
 than the reference engine.
+
+Each invocation also measures the observability overhead on the drained
+workloads (event engine): ``off`` (no session at all), ``null`` (the
+disabled :data:`~repro.obs.NULL_SESSION` explicitly installed — the path
+every un-traced run pays) and ``probed`` (a
+:class:`~repro.obs.SimulatorProbe` attached, capturing per-router
+occupancy/latency histograms).  ``--check-obs`` gates the null-session
+path at <= 2% overhead over off and requires the probed report to be
+bit-identical to the off report once the ``probe_*`` figures are
+stripped.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from repro.noc.traffic import (  # noqa: E402
     acg_messages,
     uniform_random_messages,
 )
+from repro.obs import NULL_SESSION, SimulatorProbe, use_session  # noqa: E402
 from repro.routing.xy import xy_routing_function  # noqa: E402
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
@@ -50,6 +61,10 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 #: repeat each (workload, engine) run this many times; the minimum wall
 #: time is recorded (least-noise estimator for CI runners)
 REPEATS = 3
+
+#: outer interleaved repetitions of the off/null/probed observability
+#: measurement (each of which is itself a min-of-REPEATS run)
+OBS_REPEATS = 5
 
 
 def mesh_fabric():
@@ -99,7 +114,7 @@ def aes_phase_runner(engine: str) -> dict[str, float]:
 def drained_runner(fabric_builder, schedule_builder):
     """A runner that drains one open-loop schedule on one fabric."""
 
-    def run(engine: str) -> dict[str, float]:
+    def run(engine: str, obs_mode: str = "off") -> dict[str, float]:
         best = None
         for _ in range(REPEATS):
             topology, routing = fabric_builder()
@@ -108,9 +123,17 @@ def drained_runner(fabric_builder, schedule_builder):
                 routing,
                 config=SimulatorConfig(engine=engine, router_pipeline_delay_cycles=2),
             )
+            if obs_mode == "probed":
+                simulator.attach_probe(SimulatorProbe())
             schedule_builder(topology).schedule_onto(simulator)
             start = time.perf_counter()
-            simulator.run_until_drained()
+            if obs_mode == "null":
+                # the disabled observability path every un-traced run pays:
+                # the null session explicitly installed around the hot loop
+                with use_session(NULL_SESSION):
+                    simulator.run_until_drained()
+            else:
+                simulator.run_until_drained()
             wall = time.perf_counter() - start
             if best is None or wall < best[0]:
                 best = (wall, simulator)
@@ -122,6 +145,7 @@ def drained_runner(fabric_builder, schedule_builder):
             "report": simulator.report(),
         }
 
+    run.supports_obs = True
     return run
 
 
@@ -199,6 +223,43 @@ def run_suite(suite: str) -> dict[str, dict[str, object]]:
     return results
 
 
+def measure_observability(suite: str) -> dict[str, dict[str, object]]:
+    """Interleaved off/null/probed walls per obs-capable workload (event engine).
+
+    The three modes are measured round-robin (one full off/null/probed
+    cycle per outer repetition) so slow drift on a shared CI runner hits
+    every mode equally; each mode keeps its minimum wall across the outer
+    repetitions, and each sample is itself a min-of-``REPEATS`` run.
+    """
+    results: dict[str, dict[str, object]] = {}
+    for name, runner in workload_suite(suite).items():
+        if not getattr(runner, "supports_obs", False):
+            continue  # e.g. the prototype comparison drives its own simulators
+        walls: dict[str, float] = {}
+        reports: dict[str, dict] = {}
+        for _ in range(OBS_REPEATS):
+            for mode in ("off", "null", "probed"):
+                measurement = runner(ENGINE_EVENT, obs_mode=mode)
+                wall = measurement["wall_seconds"]
+                walls[mode] = min(walls.get(mode, wall), wall)
+                reports[mode] = measurement["report"]
+        off, null, probed = walls["off"], walls["null"], walls["probed"]
+        stripped = {
+            key: value
+            for key, value in reports["probed"].items()
+            if not key.startswith("probe_")
+        }
+        results[name] = {
+            "off_wall_seconds": round(off, 6),
+            "null_wall_seconds": round(null, 6),
+            "probed_wall_seconds": round(probed, 6),
+            "null_overhead_pct": round(100.0 * (null - off) / max(off, 1e-9), 2),
+            "probed_overhead_pct": round(100.0 * (probed - off) / max(off, 1e-9), 2),
+            "probed_report_identical": stripped == reports["off"],
+        }
+    return results
+
+
 def check(results: dict[str, dict[str, object]]) -> list[str]:
     """CI gate: identical reports + fewer stepped cycles, per workload."""
     failures = []
@@ -213,6 +274,28 @@ def check(results: dict[str, dict[str, object]]) -> list[str]:
     return failures
 
 
+def check_observability(observability: dict[str, dict[str, object]]) -> list[str]:
+    """The ``--check-obs`` gate: free when off, bit-identical when probed.
+
+    Per workload: the null-session wall must stay within 2% of the
+    no-session wall (plus a 2 ms absolute allowance so micro-workloads
+    don't gate on scheduler noise), and the probed report minus its
+    ``probe_*`` figures must equal the unprobed report exactly.
+    """
+    failures = []
+    for name, entry in observability.items():
+        budget = 1.02 * entry["off_wall_seconds"] + 0.002
+        if entry["null_wall_seconds"] > budget:
+            failures.append(
+                f"{name}: null-session wall {entry['null_wall_seconds']:.6f}s exceeds "
+                f"2% over off wall {entry['off_wall_seconds']:.6f}s "
+                f"({entry['null_overhead_pct']:+.2f}%)"
+            )
+        if not entry["probed_report_identical"]:
+            failures.append(f"{name}: probed report differs from the unprobed report")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", choices=("smoke", "full"), default="smoke")
@@ -223,6 +306,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero unless the event engine beats the reference "
         "engine on stepped cycles with identical reports",
+    )
+    parser.add_argument(
+        "--check-obs",
+        dest="check_obs",
+        action="store_true",
+        help="exit non-zero unless the disabled observability path costs "
+        "<= 2%% wall overhead and probed reports are bit-identical",
     )
     parser.add_argument(
         "--no-write", action="store_true", help="measure and print only"
@@ -239,6 +329,14 @@ def main(argv: list[str] | None = None) -> int:
             f"identical={result['identical_reports']}"
         )
 
+    observability = measure_observability(args.suite)
+    for name, entry in observability.items():
+        print(
+            f"{name:20s} obs: null {entry['null_overhead_pct']:+6.2f}%  "
+            f"probed {entry['probed_overhead_pct']:+6.2f}%  "
+            f"probed_identical={entry['probed_report_identical']}"
+        )
+
     if not args.no_write:
         payload = {"entries": []}
         if args.output.exists():
@@ -252,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
                 "suite": args.suite,
                 "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
                 "workloads": results,
+                "observability": observability,
             }
         )
         args.output.write_text(
@@ -259,12 +358,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"trajectory written to {args.output}")
 
+    failures = []
     if args.check:
-        failures = check(results)
-        for failure in failures:
-            print(f"CHECK FAILED: {failure}", file=sys.stderr)
-        return 1 if failures else 0
-    return 0
+        failures.extend(check(results))
+    if args.check_obs:
+        failures.extend(check_observability(observability))
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -127,6 +127,27 @@ _EXPORTS: dict[str, str] = {
     "ResultCache": "repro.dse.cache",
     "pareto_report": "repro.dse.analysis",
     "pareto_front": "repro.dse.analysis",
+    # observability (stdlib-only: safe to resolve without the simulator)
+    "Tracer": "repro.obs",
+    "NullTracer": "repro.obs",
+    "NULL_TRACER": "repro.obs",
+    "Span": "repro.obs",
+    "get_tracer": "repro.obs",
+    "annotate": "repro.obs",
+    "ObsSession": "repro.obs",
+    "NULL_SESSION": "repro.obs",
+    "use_session": "repro.obs",
+    "get_session": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "SimulatorProbe": "repro.obs",
+    "EXPORTERS": "repro.obs",
+    "ExporterSpec": "repro.obs",
+    "register_exporter": "repro.obs",
+    "get_exporter": "repro.obs",
+    "exporter_names": "repro.obs",
+    "write_event_log": "repro.obs",
+    "read_event_log": "repro.obs",
+    "render_trace_summary": "repro.obs",
 }
 
 #: moved/renamed symbols kept alive with a warning: name -> (module,

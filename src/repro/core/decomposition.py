@@ -695,9 +695,27 @@ def decompose(
     branch-and-bound search with a unit or energy cost model chosen
     automatically from the ACG (energy if floorplan positions are present).
     """
+    # imported lazily so the observability layer stays optional at the
+    # module level (repro.core must import standalone in minimal embeddings)
+    from repro.obs import get_tracer
+
     config = config or DecompositionConfig()
     if config.strategy is SearchStrategy.GREEDY:
         engine: Decomposer = GreedyDecomposer(library, cost_model, config)
     else:
         engine = BranchAndBoundDecomposer(library, cost_model, config)
-    return engine.decompose(acg)
+    tracer = get_tracer()
+    with tracer.span("search.decompose", strategy=config.strategy.value) as span:
+        result = engine.decompose(acg)
+        if tracer.enabled:
+            statistics = result.statistics
+            span.annotate(
+                nodes_expanded=statistics.nodes_expanded,
+                leaves_evaluated=statistics.leaves_evaluated,
+                vf2_fresh_matchings=statistics.matching_cache_misses,
+                vf2_cached_matchings=statistics.matching_cache_hits,
+                transposition_hits=statistics.transposition_hits,
+                branches_pruned=statistics.branches_pruned,
+                truncated=statistics.truncated,
+            )
+    return result

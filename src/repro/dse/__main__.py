@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.dse <run|report|list-scenarios|list-fabrics|import-workload|export-topology>``.
+"""Command-line entry point: ``python -m repro.dse <run|report|trace|stats|list-scenarios|list-fabrics|import-workload|export-topology>``.
 
 Examples::
 
@@ -11,6 +11,9 @@ Examples::
         --routing-policy xy,dateline,up_down
     python -m repro.dse report
     python -m repro.dse report --suite smoke --csv sweep.csv
+    python -m repro.dse run --suite smoke --trace trace.jsonl
+    python -m repro.dse trace trace.jsonl
+    python -m repro.dse stats trace.jsonl --format prometheus
     python -m repro.dse import-workload app.net --out app.dot
     python -m repro.dse export-topology --family torus --cores 16 --out torus.dot
 
@@ -48,6 +51,15 @@ from repro.dse.cache import ResultCache, StageArtifactStore
 from repro.dse.runner import run_sweep
 from repro.dse.scenarios import build_suite, describe_suites, resolve_suite, scenario_rows
 from repro.exceptions import ConfigurationError, ReproError
+from repro.obs import (
+    NULL_SESSION,
+    ObsSession,
+    get_exporter,
+    read_event_log,
+    render_trace_summary,
+    use_session,
+    write_event_log,
+)
 
 DEFAULT_RESULTS = Path("dse_results") / "results.jsonl"
 #: stage artifacts default to a sibling directory of the results file
@@ -102,15 +114,17 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         ]
     cache = ResultCache(arguments.results)
     artifacts = _artifact_store(arguments)
-    result = run_sweep(
-        scenarios,
-        base=spec.base_settings,
-        axes=axes,
-        cache=cache,
-        parallel=arguments.parallel,
-        max_workers=arguments.workers,
-        artifacts=artifacts,
-    )
+    session = ObsSession.enabled() if arguments.trace is not None else NULL_SESSION
+    with use_session(session):
+        result = run_sweep(
+            scenarios,
+            base=spec.base_settings,
+            axes=axes,
+            cache=cache,
+            parallel=arguments.parallel,
+            max_workers=arguments.workers,
+            artifacts=artifacts,
+        )
     print(f"suite {spec.name!r}: {len(scenarios)} scenarios x grid {axes}")
     print(result.describe())
     for record in result.failed():
@@ -119,8 +133,25 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     print(f"results: {cache.describe()}")
     if artifacts is not None:
         print(f"stage artifacts: {artifacts.describe()}")
+    if arguments.trace is not None:
+        events = session.events()
+        write_event_log(arguments.trace, events)
+        print(f"trace: wrote {len(events)} events to {arguments.trace} "
+              f"(inspect with: python -m repro.dse trace {arguments.trace})")
     print("next: python -m repro.dse report"
           + (f" --results {arguments.results}" if arguments.results != DEFAULT_RESULTS else ""))
+    return 0
+
+
+def _cmd_trace(arguments: argparse.Namespace) -> int:
+    events = read_event_log(arguments.path)
+    print(render_trace_summary(events, top=arguments.top))
+    return 0
+
+
+def _cmd_stats(arguments: argparse.Namespace) -> int:
+    events = read_event_log(arguments.path)
+    print(get_exporter(arguments.format).render(events))
     return 0
 
 
@@ -308,6 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="routing policies to sweep the baseline fabric over "
                           "(shorthand for --axis routing_policy=...; see "
                           "list-fabrics; default: the suite's grid)")
+    run.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                     help="record an observability event log (spans + metrics, "
+                          "JSONL) of this sweep to FILE; inspect it with the "
+                          "'trace' and 'stats' subcommands (default: tracing off)")
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser(
@@ -326,6 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--csv", type=Path, default=None, metavar="FILE",
                         help="also export the report rows as CSV (default: no export)")
     report.set_defaults(handler=_cmd_report)
+
+    trace = commands.add_parser(
+        "trace",
+        help="summarize an observability event log",
+        description="Render a human-readable summary of an event log recorded "
+        "with run --trace: the hottest spans (by total wall clock), the DSE "
+        "stage breakdown (decompose/synthesize/route/simulate/score shares), "
+        "and the hottest routers/channels from the simulator probes. See "
+        "docs/observability.md.",
+    )
+    trace.add_argument("path", type=Path, help="event log file (from run --trace)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="number of span rows to show (default: 10)")
+    trace.set_defaults(handler=_cmd_trace)
+
+    stats = commands.add_parser(
+        "stats",
+        help="export an event log's metrics in a registered format",
+        description="Render an event log recorded with run --trace through a "
+        "registered metrics exporter. Built-ins: 'summary' (tables), "
+        "'prometheus' (text exposition format), 'jsonl' (the raw events); "
+        "plugins may register more via the repro.plugins entry-point group. "
+        "See docs/observability.md.",
+    )
+    stats.add_argument("path", type=Path, help="event log file (from run --trace)")
+    stats.add_argument("--format", default="summary",
+                       help="exporter name (default: summary)")
+    stats.set_defaults(handler=_cmd_stats)
 
     listing = commands.add_parser(
         "list-scenarios",

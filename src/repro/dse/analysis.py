@@ -270,6 +270,8 @@ _REPORT_COLUMNS = (
     "energy_per_iteration_uj",
     "avg_power_mw",
     "physical_links",
+    "t_decompose",
+    "t_simulate",
     "avg_latency_cycles_vs_mesh",
     "energy_per_iteration_uj_vs_mesh",
     "throughput_mbps_vs_mesh",

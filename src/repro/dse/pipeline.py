@@ -32,7 +32,8 @@ memo (``"memory"``) or the on-disk artifact store (``"store"``).
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, replace
 
 from repro.aes.aes_core import FIPS197_KEY
@@ -82,6 +83,7 @@ from repro.exceptions import (
 from repro.noc.simulator import ENGINE_EVENT, ENGINES, NoCSimulator, SimulatorConfig
 from repro.noc.stats import throughput_mbps_from_cycles
 from repro.noc.traffic import acg_messages
+from repro.obs import SimulatorProbe, get_session, get_tracer
 from repro.plugins import Registry
 from repro.routing.deadlock import DeadlockReport, analyze_deadlock
 from repro.routing.policies import get_policy
@@ -507,6 +509,29 @@ class ArchitectureMetrics:
         }
 
 
+def _session_probe(simulator: NoCSimulator) -> SimulatorProbe | None:
+    """Attach a fresh probe when the active obs session asks for capture.
+
+    Returns ``None`` (and leaves the simulator untouched) outside a
+    probe-capturing :class:`~repro.obs.ObsSession`, so the default path
+    costs one contextvar read.
+    """
+    if not get_session().capture_probes:
+        return None
+    probe = SimulatorProbe()
+    simulator.attach_probe(probe)
+    return probe
+
+
+def _flush_probe(probe: SimulatorProbe | None, simulator: NoCSimulator, name: str) -> None:
+    """Publish a probe's per-router/per-channel figures into session metrics."""
+    if probe is None:
+        return
+    metrics = get_session().metrics
+    if metrics is not None:
+        probe.emit_metrics(metrics, simulator.statistics, architecture=name)
+
+
 def simulate_aes_traffic(
     name: str,
     topology: Topology,
@@ -520,6 +545,7 @@ def simulate_aes_traffic(
     if blocks < 1:
         raise ConfigurationError("the comparison needs at least one block")
     simulator = NoCSimulator(topology, routing, config=simulator_config, technology=technology)
+    probe = _session_probe(simulator)
     aes = DistributedAES(FIPS197_KEY)
     plaintext = bytes(range(16))
     for block_index in range(blocks):
@@ -528,6 +554,7 @@ def simulate_aes_traffic(
         simulator.run_phases(
             trace.phases, computation_cycles_per_phase=computation_cycles_per_phase
         )
+    _flush_probe(probe, simulator, name)
     total_cycles = simulator.statistics.total_cycles
     cycles_per_block = total_cycles / blocks
     return ArchitectureMetrics(
@@ -567,9 +594,11 @@ def simulate_acg_traffic(
     if repetitions < 1:
         raise ConfigurationError("at least one traffic repetition is required")
     simulator = NoCSimulator(topology, routing, config=simulator_config, technology=technology)
+    probe = _session_probe(simulator)
     for _ in range(repetitions):
         simulator.schedule_messages(acg_messages(acg, packet_size_bits=packet_size_bits))
         simulator.run_until_drained()
+    _flush_probe(probe, simulator, name)
     total_cycles = simulator.statistics.total_cycles
     return ArchitectureMetrics(
         name=name,
@@ -865,6 +894,23 @@ def _apply_deadlock_gate(
         raise DeadlockError(list(deadlock_report.cycle))
 
 
+@contextmanager
+def _stage(record: EvaluationRecord, stage: str) -> Iterator[None]:
+    """Time one pipeline stage into ``record.stage_seconds`` and span it.
+
+    Timing lands in the record even when the stage raises (the pipeline's
+    failure statuses), so a failed cell still reports where its time went;
+    the span is named ``dse.<stage>`` so trace summaries can break a
+    sweep's wall clock down by stage.
+    """
+    start = time.perf_counter()
+    with get_tracer().span(f"dse.{stage}"):
+        try:
+            yield
+        finally:
+            record.stage_seconds[stage] = time.perf_counter() - start
+
+
 def _record_decomposition(
     record: EvaluationRecord, decomposition: DecompositionResult
 ) -> None:
@@ -887,14 +933,21 @@ def _synthesize_custom(
     context: "object | None",
 ) -> SynthesizedArchitecture:
     """Chain decompose -> synthesize -> route for one custom-architecture cell."""
-    decomposition, provenance = decompose_stage(scenario, settings, context)
+    with _stage(record, "decompose"):
+        decomposition, provenance = decompose_stage(scenario, settings, context)
     record.stage_reuse["decompose"] = provenance
     _record_decomposition(record, decomposition)
     if context is not None:
-        architecture, provenance = context.architecture_for(scenario, settings, decomposition)
+        # the memoized synthesize+route product; one fused stage timing
+        with _stage(record, "synthesize"):
+            architecture, provenance = context.architecture_for(
+                scenario, settings, decomposition
+            )
     else:
-        topology = synthesize_stage(scenario, settings, decomposition)
-        architecture = route_stage(scenario, settings, decomposition, topology)
+        with _stage(record, "synthesize"):
+            topology = synthesize_stage(scenario, settings, decomposition)
+        with _stage(record, "route"):
+            architecture = route_stage(scenario, settings, decomposition, topology)
         provenance = STAGE_COMPUTED
     record.stage_reuse["synthesize"] = provenance
     if architecture.constraint_report is not None:
@@ -932,34 +985,44 @@ def evaluate(
         settings=settings.as_dict(),
     )
     start = time.perf_counter()
-    try:
-        if settings.architecture == "mesh":
-            fabric, table, deadlock_report = baseline_route_stage(scenario, settings)
-            _apply_deadlock_gate(record, settings, deadlock_report)
-            topology: Topology = fabric
-            routing: RoutingFunction = table.frozen_next_hop()
-            name = fabric.name
-        else:
-            architecture = _synthesize_custom(scenario, settings, record, context)
-            topology = architecture.topology
-            routing = architecture.routing_table.frozen_next_hop()
-            name = architecture.topology.name
-        metrics = simulate_stage(scenario, settings, name, topology, routing)
-        record.metrics.update(score_stage(metrics, topology))
-    except DecompositionError as error:
-        record.status = STATUS_DECOMPOSITION_FAILED
-        record.error = str(error)
-    except SynthesisError as error:
-        record.status = STATUS_SYNTHESIS_FAILED
-        record.error = str(error)
-    except RoutingError as error:
-        record.status = STATUS_ROUTING_FAILED
-        record.error = str(error)
-    except SimulationError as error:
-        record.status = STATUS_SIMULATION_FAILED
-        record.error = str(error)
-    # any other ReproError (ConfigurationError, WorkloadError, unknown
-    # technology, ...) is a caller bug, not an exploration outcome: let it
-    # raise rather than poison the result cache with mislabeled failures
+    with get_tracer().span(
+        "dse.evaluate",
+        scenario=scenario.name,
+        architecture=settings.architecture,
+        config=record.config_label,
+    ) as span:
+        try:
+            if settings.architecture == "mesh":
+                with _stage(record, "route"):
+                    fabric, table, deadlock_report = baseline_route_stage(scenario, settings)
+                    _apply_deadlock_gate(record, settings, deadlock_report)
+                topology: Topology = fabric
+                routing: RoutingFunction = table.frozen_next_hop()
+                name = fabric.name
+            else:
+                architecture = _synthesize_custom(scenario, settings, record, context)
+                topology = architecture.topology
+                routing = architecture.routing_table.frozen_next_hop()
+                name = architecture.topology.name
+            with _stage(record, "simulate"):
+                metrics = simulate_stage(scenario, settings, name, topology, routing)
+            with _stage(record, "score"):
+                record.metrics.update(score_stage(metrics, topology))
+        except DecompositionError as error:
+            record.status = STATUS_DECOMPOSITION_FAILED
+            record.error = str(error)
+        except SynthesisError as error:
+            record.status = STATUS_SYNTHESIS_FAILED
+            record.error = str(error)
+        except RoutingError as error:
+            record.status = STATUS_ROUTING_FAILED
+            record.error = str(error)
+        except SimulationError as error:
+            record.status = STATUS_SIMULATION_FAILED
+            record.error = str(error)
+        # any other ReproError (ConfigurationError, WorkloadError, unknown
+        # technology, ...) is a caller bug, not an exploration outcome: let it
+        # raise rather than poison the result cache with mislabeled failures
+        span.annotate(status=record.status)
     record.runtime_seconds = time.perf_counter() - start
     return record

@@ -63,6 +63,11 @@ class EvaluationRecord:
     """Per-stage provenance (``{"decompose": "memory", ...}``): whether each
     shareable stage was computed for this cell or reused from the in-memory
     memo / on-disk artifact store.  Empty for mesh cells (no decomposition)."""
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    """Per-stage wall-clock seconds for the stages this cell actually ran
+    (``{"decompose": 1.8, "simulate": 0.2, ...}``); the triage companion of
+    ``stage_reuse`` — a budget-truncated (``!``) cell shows *where* its time
+    went.  Recorded for failed stages too (up to the failure point)."""
     runtime_seconds: float = 0.0
     from_cache: bool = False
 
@@ -98,6 +103,8 @@ class EvaluationRecord:
             "status": self.status,
         }
         row.update(self.metrics)
+        for stage, seconds in self.stage_seconds.items():
+            row[f"t_{stage}"] = seconds
         if self.constraints_satisfied is not None:
             row["constraints_ok"] = self.constraints_satisfied
         if self.deadlock_free is not None:

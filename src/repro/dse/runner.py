@@ -31,6 +31,7 @@ from repro.dse.cache import (
 from repro.dse.pipeline import EvaluationSettings, Scenario, evaluate
 from repro.dse.records import STAGE_COMPUTED, EvaluationRecord
 from repro.exceptions import ConfigurationError
+from repro.obs import ObsSession, get_session, use_session
 
 
 def axis_label(axes: Mapping[str, object]) -> str:
@@ -217,18 +218,40 @@ def _evaluate_cells(
     ]
 
 
+#: spans + metric events one traced worker ships back to the coordinator
+GroupEvents = dict[str, list[dict[str, object]]]
+
+
 def _evaluate_group(
-    payload: tuple[list[CellPayload], str | None],
-) -> list[EvaluationRecord]:
+    payload: tuple[list[CellPayload], str | None, bool],
+) -> tuple[list[EvaluationRecord], GroupEvents]:
     """Evaluate one stage group (module-level so it pickles into workers).
 
     All cells of the group share a decomposition sub-key, so evaluating them
     in one process under one :class:`StageContext` runs the search once; the
     optional artifact directory extends the reuse across groups and runs.
+
+    Returns ``(records, events)``: when the sweep is traced, ``events``
+    carries the worker's serialized span and metric event dicts (plain
+    JSON-able payloads, so they pickle back across the pool boundary); the
+    coordinator re-parents the spans under its own sweep span via
+    :meth:`~repro.obs.Tracer.adopt` and merges the metric events into the
+    session registry via :meth:`~repro.obs.MetricsRegistry.ingest`.
     """
-    cell_payloads, artifact_directory = payload
+    cell_payloads, artifact_directory, traced = payload
     store = StageArtifactStore(artifact_directory) if artifact_directory else None
-    return _evaluate_cells(cell_payloads, StageContext(store))
+    context = StageContext(store)
+    if not traced:
+        return _evaluate_cells(cell_payloads, context), {"spans": [], "metrics": []}
+    session = ObsSession.enabled()
+    with use_session(session):
+        with session.tracer.span("dse.group", cells=len(cell_payloads)):
+            records = _evaluate_cells(cell_payloads, context)
+    assert session.metrics is not None  # ObsSession.enabled() always builds one
+    return records, {
+        "spans": session.tracer.export_events(),
+        "metrics": session.metrics.snapshot_events(),
+    }
 
 
 def run_sweep(
@@ -250,6 +273,32 @@ def run_sweep(
     """
     if artifacts is not None and not isinstance(artifacts, StageArtifactStore):
         artifacts = StageArtifactStore(artifacts)
+    session = get_session()
+    with session.tracer.span("dse.sweep") as sweep_span:
+        result = _run_sweep_traced(
+            scenarios, base, axes, cache, parallel, max_workers, artifacts, sweep_span
+        )
+        if session.tracer.enabled:
+            sweep_span.annotate(
+                cells=result.num_cells,
+                cache_hits=result.cache_hits,
+                evaluated=result.num_evaluations,
+            )
+    return result
+
+
+def _run_sweep_traced(
+    scenarios: Sequence[Scenario],
+    base: EvaluationSettings | None,
+    axes: Mapping[str, Sequence[object]] | None,
+    cache: ResultCache | None,
+    parallel: bool,
+    max_workers: int | None,
+    artifacts: StageArtifactStore | None,
+    sweep_span,
+) -> SweepResult:
+    """The body of :func:`run_sweep`, running inside its sweep span."""
+    session = get_session()
     cells = plan_sweep(scenarios, base, axes)
     result = SweepResult()
     fresh: list[SweepCell] = []
@@ -277,17 +326,27 @@ def run_sweep(
         (
             [(cell.scenario, cell.settings, cell.axes, cell.key) for cell in group],
             artifact_directory,
+            session.active,
         )
         for group in groups.values()
     ]
     if parallel and len(payloads) > 1:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            evaluated_groups = list(pool.map(_evaluate_group, payloads))
+            outcomes = list(pool.map(_evaluate_group, payloads))
+        evaluated_groups = [records for records, _ in outcomes]
+        # reattach each worker's span tree under this sweep's span and fold
+        # the worker metric snapshots into the coordinator's registry
+        for _, events in outcomes:
+            session.tracer.adopt(events["spans"], parent_id=sweep_span.span_id)
+            if session.metrics is not None:
+                session.metrics.ingest(events["metrics"])
     else:
-        # serial: one context shared across all groups maximizes reuse
+        # serial: one context shared across all groups maximizes reuse; the
+        # coordinator's own session stays active, so spans and metrics land
+        # directly without any adoption step
         context = StageContext(artifacts)
         evaluated_groups = [
-            _evaluate_cells(cell_payloads, context) for cell_payloads, _ in payloads
+            _evaluate_cells(cell_payloads, context) for cell_payloads, _, _ in payloads
         ]
 
     evaluated = [record for group in evaluated_groups for record in group]

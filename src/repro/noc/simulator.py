@@ -53,6 +53,7 @@ from repro.noc.network import Network
 from repro.noc.packet import Message, Packet
 from repro.noc.router import LOCAL_PORT, Router
 from repro.noc.stats import SimulationStatistics
+from repro.obs import SimulatorProbe, get_tracer
 
 NodeId = Hashable
 RoutingFunction = Callable[[NodeId, NodeId], NodeId]
@@ -102,8 +103,15 @@ class NoCSimulator:
         routing: RoutingFunction,
         config: SimulatorConfig | None = None,
         technology: Technology = DEFAULT_TECHNOLOGY,
+        probe: SimulatorProbe | None = None,
     ) -> None:
         self.config = config or SimulatorConfig()
+        self.probe = probe
+        """Optional :class:`~repro.obs.probes.SimulatorProbe`: when attached,
+        per-router occupancy/latency histograms are recorded at the shared
+        buffer-mutation points and ``probe_*`` figures join :meth:`report`.
+        The probe never changes any existing report figure or delivery cycle
+        — both engines produce bit-identical output with it attached."""
         self.topology = topology
         self.technology = technology
         self.network = Network(
@@ -167,6 +175,11 @@ class NoCSimulator:
                 lambda packet, _node=node: self.network.output_request(_node, packet)
             )
 
+    def attach_probe(self, probe: SimulatorProbe) -> SimulatorProbe:
+        """Attach an observability probe (idempotent; returns the probe)."""
+        self.probe = probe
+        return probe
+
     # ------------------------------------------------------------------
     # traffic scheduling
     # ------------------------------------------------------------------
@@ -197,12 +210,15 @@ class NoCSimulator:
     # ------------------------------------------------------------------
     def _inject_due_packets(self) -> list[NodeId]:
         injected: list[NodeId] = []
+        probe = self.probe
         while self._pending and self._pending[0][0] <= self.current_cycle:
             _, _, packet = heapq.heappop(self._pending)
             source = packet.source
             self.network.inject(packet, source)
             self._buffered_by_node[source] += 1
             self._buffered_total += 1
+            if probe is not None:
+                probe.record_enqueue(source, self._buffered_by_node[source])
             injected.append(source)
         return injected
 
@@ -238,6 +254,8 @@ class NoCSimulator:
                 # switch of Equation 1.
                 self._switch_bits += packet.size_bits
                 self.statistics.record_delivery(packet)
+                if self.probe is not None:
+                    self.probe.record_delivery(node, packet.latency)
                 if wake_upstream is not None and input_port != LOCAL_PORT:
                     wake_upstream(input_port)
                 continue
@@ -261,8 +279,11 @@ class NoCSimulator:
                 wake_upstream(input_port)
 
     def _note_arrivals(self, receivers: list[NodeId]) -> None:
+        probe = self.probe
         for node in receivers:
             self._buffered_by_node[node] += 1
+            if probe is not None:
+                probe.record_enqueue(node, self._buffered_by_node[node])
         self._buffered_total += len(receivers)
 
     def step(self) -> None:
@@ -436,12 +457,20 @@ class NoCSimulator:
     # ------------------------------------------------------------------
     def run(self, cycles: int) -> None:
         """Run for a fixed number of cycles."""
-        if self.config.engine == ENGINE_EVENT:
-            self._run_event(cycles)
-        else:
-            for _ in range(cycles):
-                self.step()
-        self._finalize()
+        tracer = get_tracer()
+        with tracer.span("noc.run") as span:
+            if self.config.engine == ENGINE_EVENT:
+                self._run_event(cycles)
+            else:
+                for _ in range(cycles):
+                    self.step()
+            self._finalize()
+            if tracer.enabled:
+                span.annotate(
+                    engine=self.config.engine,
+                    cycles=cycles,
+                    cycles_stepped=self.cycles_stepped,
+                )
 
     def run_until_drained(self, max_cycles: int | None = None) -> int:
         """Run until all scheduled traffic has been delivered.
@@ -452,14 +481,22 @@ class NoCSimulator:
         """
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
         start = self.current_cycle
-        if self.config.engine == ENGINE_EVENT:
-            self._run_event_until_drained(start, budget)
-        else:
-            while not self._drained():
-                if self.current_cycle - start > budget:
-                    raise self._drain_budget_error(budget)
-                self.step()
-        self._finalize()
+        tracer = get_tracer()
+        with tracer.span("noc.run_until_drained") as span:
+            if self.config.engine == ENGINE_EVENT:
+                self._run_event_until_drained(start, budget)
+            else:
+                while not self._drained():
+                    if self.current_cycle - start > budget:
+                        raise self._drain_budget_error(budget)
+                    self.step()
+            self._finalize()
+            if tracer.enabled:
+                span.annotate(
+                    engine=self.config.engine,
+                    cycles_drained=self.current_cycle - start,
+                    cycles_stepped=self.cycles_stepped,
+                )
         return self.current_cycle
 
     def _drain_budget_error(self, budget: int) -> SimulationError:
@@ -559,7 +596,12 @@ class NoCSimulator:
         }
 
     def report(self) -> dict[str, float]:
-        """Combined performance + energy summary of the run so far."""
+        """Combined performance + energy summary of the run so far.
+
+        With a probe attached, deterministic ``probe_*`` figures are
+        appended; the pre-existing keys are byte-for-byte unaffected, so
+        probed and unprobed runs agree on everything but the extra keys.
+        """
         # catch up the batched traversal counters so manual step() loops
         # that never hit a finalize still read complete energy figures
         self._flush_energy_batches()
@@ -567,4 +609,6 @@ class NoCSimulator:
         report.update(self.energy.summary())
         report["average_power_mw"] = self.average_power_mw()
         report["total_energy_uj"] = self.energy.total_energy_uj
+        if self.probe is not None:
+            report.update(self.probe.report_figures(self.statistics))
         return report

@@ -1,0 +1,89 @@
+"""Observability sessions: one switch for tracing, metrics and probes.
+
+An :class:`ObsSession` bundles the three observability pillars — a span
+tracer, a metrics registry and the capture-probes flag the simulate
+stage consults — and installs them on the current logical call stack
+through a :mod:`contextvars` variable.  Everything instrumented calls
+:func:`get_tracer` / :func:`get_session`; with no session installed they
+answer the no-op :data:`~repro.obs.tracer.NULL_TRACER` and the inert
+:data:`NULL_SESSION`, so instrumentation costs (almost) nothing until a
+caller opts in::
+
+    from repro.obs import ObsSession, use_session, write_event_log
+
+    session = ObsSession.enabled()
+    with use_session(session):
+        result = run_sweep(scenarios)
+    write_event_log("trace.jsonl", session.events())
+
+The contextvar scoping is what makes sessions safe under the process
+pool: a worker process starts with no session and builds its own when
+the sweep payload says tracing is on (see
+:mod:`repro.dse.runner`), shipping the resulting events back by value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+@dataclass
+class ObsSession:
+    """One observability configuration: tracer + metrics + probe switch."""
+
+    tracer: Tracer | NullTracer = NULL_TRACER
+    metrics: MetricsRegistry | None = None
+    capture_probes: bool = False
+    """When true, the simulate stage attaches a
+    :class:`~repro.obs.probes.SimulatorProbe` to every simulator it runs
+    and flushes the probe's figures into ``metrics``."""
+
+    @classmethod
+    def enabled(cls) -> "ObsSession":
+        """A fully-on session: live tracer, fresh metrics registry, probes."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry(), capture_probes=True)
+
+    @property
+    def active(self) -> bool:
+        """True when any pillar is on (what the runner ships to workers)."""
+        return self.tracer.enabled or self.metrics is not None or self.capture_probes
+
+    def events(self, extra: Iterable[dict[str, object]] = ()) -> list[dict[str, object]]:
+        """Every event this session holds: spans, metrics, then ``extra``."""
+        events = list(self.tracer.export_events())
+        if self.metrics is not None:
+            events.extend(self.metrics.snapshot_events())
+        events.extend(extra)
+        return events
+
+
+#: the inert default: no tracing, no metrics, no probes
+NULL_SESSION = ObsSession()
+
+_SESSION: ContextVar[ObsSession] = ContextVar("repro_obs_session", default=NULL_SESSION)
+
+
+def get_session() -> ObsSession:
+    """The session installed on this logical call stack (default: inert)."""
+    return _SESSION.get()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The installed session's tracer (default: the no-op tracer)."""
+    return _SESSION.get().tracer
+
+
+@contextmanager
+def use_session(session: ObsSession) -> Iterator[ObsSession]:
+    """Install ``session`` for the duration of the ``with`` block."""
+    token = _SESSION.set(session)
+    try:
+        yield session
+    finally:
+        _SESSION.reset(token)

@@ -1,0 +1,230 @@
+"""Hierarchical span tracing: nestable, contextvar-scoped, free when off.
+
+A *span* is one named, timed slice of work with arbitrary key/value
+attributes; spans nest through a :mod:`contextvars` variable, so the
+parent of a span is whatever span is active on the current logical call
+stack — across ``with`` blocks, generators and threads alike.  The
+default tracer is the no-op :data:`NULL_TRACER`: every instrumentation
+point in the search, the DSE pipeline and the NoC engines calls
+``get_tracer().span(...)`` unconditionally, and pays only a contextvar
+read plus an empty context manager until a session installs a real
+:class:`Tracer` (see :mod:`repro.obs.session`;
+``scripts/bench_simulator.py`` gates that disabled-path overhead).
+
+Spans serialize to plain JSON-able event dicts (:meth:`Span.as_event`),
+which is how process-pool workers ship their spans back to the sweep
+coordinator: the worker exports events, the coordinator
+:meth:`Tracer.adopt`\\ s them and re-parents the worker's root spans
+under its own sweep span.  Span ids embed the producing process id, so
+ids from different workers never collide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+#: the ``type`` tag of a span event dict (metric events use ``"metric"``)
+SPAN_EVENT = "span"
+
+#: process-wide span id sequence; combined with the pid for uniqueness
+_SEQUENCE = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    """A span id unique across this process and any pool worker."""
+    return f"{os.getpid():x}.{next(_SEQUENCE):x}"
+
+
+@dataclass
+class Span:
+    """One finished, named, timed slice of work.
+
+    ``start_s`` is wall-clock (``time.time``) so spans from different
+    processes merge on a common axis; ``duration_s`` is measured with the
+    monotonic ``time.perf_counter`` so it is immune to clock steps.
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start_s: float
+    duration_s: float
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def as_event(self) -> dict[str, object]:
+        """This span as a plain JSON-serializable event dict."""
+        return {
+            "type": SPAN_EVENT,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_event(cls, event: dict[str, object]) -> "Span":
+        """Inverse of :meth:`as_event` (unknown keys are ignored)."""
+        return cls(
+            name=str(event["name"]),
+            span_id=str(event["span_id"]),
+            parent_id=(None if event.get("parent_id") is None else str(event["parent_id"])),
+            start_s=float(event["start_s"]),  # type: ignore[arg-type]
+            duration_s=float(event["duration_s"]),  # type: ignore[arg-type]
+            attributes=dict(event.get("attributes") or {}),  # type: ignore[arg-type]
+        )
+
+
+class _ActiveSpan:
+    """A span in flight: the context-manager handle :meth:`Tracer.span` returns."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attributes", "_start_wall",
+                 "_start_perf", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = _new_span_id()
+        parent = _ACTIVE_SPAN.get()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.attributes = attributes
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach (or overwrite) attributes on this span while it is open."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        self._token = _ACTIVE_SPAN.set(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration = time.perf_counter() - self._start_perf
+        _ACTIVE_SPAN.reset(self._token)
+        self._tracer._finish(
+            Span(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start_s=self._start_wall,
+                duration_s=duration,
+                attributes=self.attributes,
+            )
+        )
+
+
+class _NullSpan:
+    """The shared no-op span handle: enters, exits and annotates for free."""
+
+    __slots__ = ()
+
+    #: a null span has no identity for children to re-parent under
+    span_id = None
+    name = ""
+
+    def annotate(self, **attributes: object) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+#: the innermost open span on this logical call stack (None outside any)
+_ACTIVE_SPAN: ContextVar["_ActiveSpan | None"] = ContextVar("repro_obs_active_span",
+                                                            default=None)
+
+
+class Tracer:
+    """Collects finished spans; ``with tracer.span("name"): ...`` to record one."""
+
+    #: real tracers record; instrumentation may guard attribute building on this
+    enabled = True
+
+    def __init__(self) -> None:
+        self._finished: list[Span] = []
+
+    def span(self, name: str, **attributes: object) -> _ActiveSpan:
+        """Open a span named ``name``; use as a context manager."""
+        return _ActiveSpan(self, name, attributes)
+
+    def _finish(self, span: Span) -> None:
+        self._finished.append(span)
+
+    def finished_spans(self) -> list[Span]:
+        """All spans recorded so far, in completion order (children first)."""
+        return list(self._finished)
+
+    def export_events(self) -> list[dict[str, object]]:
+        """Finished spans as plain event dicts (picklable, JSON-able)."""
+        return [span.as_event() for span in self._finished]
+
+    def adopt(self, events: list[dict[str, object]], parent_id: str | None = None) -> int:
+        """Ingest span events exported by another tracer (e.g. a pool worker).
+
+        Root spans of the batch — spans whose parent is absent from the
+        batch itself — are re-parented under ``parent_id``, which is how a
+        worker's span tree reattaches beneath the coordinator's sweep span.
+        Returns the number of spans adopted.
+        """
+        spans = [Span.from_event(event) for event in events
+                 if event.get("type") == SPAN_EVENT]
+        known = {span.span_id for span in spans}
+        for span in spans:
+            if span.parent_id is None or span.parent_id not in known:
+                span.parent_id = parent_id
+            self._finished.append(span)
+        return len(spans)
+
+    def clear(self) -> None:
+        """Drop every recorded span (tests and long-lived sessions)."""
+        self._finished.clear()
+
+
+class NullTracer:
+    """The no-op tracer: same surface as :class:`Tracer`, records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: object) -> _NullSpan:
+        """Return the shared no-op span handle."""
+        return NULL_SPAN
+
+    def finished_spans(self) -> list[Span]:
+        """Always empty."""
+        return []
+
+    def export_events(self) -> list[dict[str, object]]:
+        """Always empty."""
+        return []
+
+    def adopt(self, events: list[dict[str, object]], parent_id: str | None = None) -> int:
+        """Discard the events (nothing to attach them to)."""
+        return 0
+
+    def clear(self) -> None:
+        """No-op."""
+
+
+NULL_TRACER = NullTracer()
+
+
+def current_span() -> "_ActiveSpan | _NullSpan":
+    """The innermost open span, or the no-op span outside any."""
+    active = _ACTIVE_SPAN.get()
+    return active if active is not None else NULL_SPAN
+
+
+def annotate(**attributes: object) -> None:
+    """Attach attributes to the innermost open span (no-op outside any)."""
+    current_span().annotate(**attributes)

@@ -1,0 +1,186 @@
+"""Tracer unit tests: nesting, no-op default, event round-trip, adoption."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.obs import (
+    NULL_SESSION,
+    NULL_TRACER,
+    ObsSession,
+    Span,
+    Tracer,
+    annotate,
+    current_span,
+    get_session,
+    get_tracer,
+    use_session,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+def spans_by_name(tracer):
+    return {span.name: span for span in tracer.finished_spans()}
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner"):
+                    pass
+        by_name = spans_by_name(tracer)
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == outer.span_id
+        assert by_name["inner"].parent_id == middle.span_id
+        # children finish before their parents
+        names = [span.name for span in tracer.finished_spans()]
+        assert names == ["inner", "middle", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        by_name = spans_by_name(tracer)
+        assert by_name["first"].parent_id == parent.span_id
+        assert by_name["second"].parent_id == parent.span_id
+
+    def test_contextvar_resets_after_exit(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            assert current_span().name == "only"
+        assert current_span() is NULL_SPAN
+
+    def test_annotate_on_handle_and_module_level(self):
+        tracer = Tracer()
+        with tracer.span("work", static=1) as span:
+            span.annotate(direct=2)
+            annotate(ambient=3)
+        (finished,) = tracer.finished_spans()
+        assert finished.attributes == {"static": 1, "direct": 2, "ambient": 3}
+
+    def test_durations_are_measured(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.finished_spans()
+        assert span.duration_s >= 0.0
+        assert span.start_s > 0.0
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        assert NULL_TRACER.span("anything", attr=1) is NULL_SPAN
+        with NULL_TRACER.span("anything") as span:
+            span.annotate(ignored=True)
+        assert NULL_TRACER.finished_spans() == []
+        assert NULL_TRACER.export_events() == []
+
+    def test_null_span_has_no_identity(self):
+        assert NULL_SPAN.span_id is None
+
+    def test_adopt_discards(self):
+        events = [{"type": "span", "name": "x", "span_id": "1", "parent_id": None,
+                   "start_s": 0.0, "duration_s": 0.0, "attributes": {}}]
+        assert NULL_TRACER.adopt(events) == 0
+
+    def test_module_annotate_outside_any_span_is_noop(self):
+        annotate(never_recorded=True)  # must not raise
+
+    def test_default_session_is_null(self):
+        session = get_session()
+        assert session is NULL_SESSION
+        assert not session.active
+        assert get_tracer() is NULL_TRACER
+
+
+class TestEventRoundTrip:
+    def test_as_event_from_event(self):
+        span = Span(name="n", span_id="a.1", parent_id="a.0",
+                    start_s=12.5, duration_s=0.25, attributes={"k": "v"})
+        event = span.as_event()
+        assert event["type"] == "span"
+        assert Span.from_event(event) == span
+
+    def test_from_event_ignores_unknown_keys(self):
+        span = Span(name="n", span_id="a.1", parent_id=None,
+                    start_s=1.0, duration_s=0.5)
+        event = span.as_event()
+        event["future_field"] = "whatever"
+        assert Span.from_event(event) == span
+
+    def test_events_survive_pickling(self):
+        """The worker->coordinator hop: events must pickle as plain data."""
+        tracer = Tracer()
+        with tracer.span("group", cells=3):
+            with tracer.span("cell"):
+                pass
+        events = pickle.loads(pickle.dumps(tracer.export_events()))
+        adopted = Tracer()
+        assert adopted.adopt(events, parent_id="coord.1") == 2
+        by_name = spans_by_name(adopted)
+        assert by_name["group"].parent_id == "coord.1"
+        assert by_name["cell"].parent_id == by_name["group"].span_id
+
+
+class TestAdoption:
+    def test_batch_roots_reparent_under_given_parent(self):
+        worker = Tracer()
+        with worker.span("root_a"):
+            with worker.span("child"):
+                pass
+        with worker.span("root_b"):
+            pass
+        coordinator = Tracer()
+        with coordinator.span("sweep") as sweep:
+            sweep_id = sweep.span_id
+        coordinator.adopt(worker.export_events(), parent_id=sweep_id)
+        by_name = spans_by_name(coordinator)
+        assert by_name["root_a"].parent_id == sweep_id
+        assert by_name["root_b"].parent_id == sweep_id
+        assert by_name["child"].parent_id == by_name["root_a"].span_id
+
+    def test_adopt_skips_non_span_events(self):
+        tracer = Tracer()
+        metric_event = {"type": "metric", "name": "c", "kind": "counter", "value": 1}
+        assert tracer.adopt([metric_event]) == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished_spans() == []
+
+
+class TestSessionNesting:
+    def test_use_session_installs_and_restores(self):
+        session = ObsSession.enabled()
+        with use_session(session):
+            assert get_session() is session
+            assert get_tracer() is session.tracer
+            with get_tracer().span("inside"):
+                pass
+        assert get_session() is NULL_SESSION
+        assert [span.name for span in session.tracer.finished_spans()] == ["inside"]
+
+    def test_enabled_session_is_fully_armed(self):
+        session = ObsSession.enabled()
+        assert session.active
+        assert session.tracer.enabled
+        assert session.metrics is not None
+        assert session.capture_probes
+
+    def test_events_merge_spans_and_metrics(self):
+        session = ObsSession.enabled()
+        with use_session(session):
+            with get_tracer().span("s"):
+                pass
+            session.metrics.counter("hits").add(2)
+        events = session.events()
+        kinds = sorted(event["type"] for event in events)
+        assert kinds == ["metric", "span"]

@@ -24,6 +24,7 @@ from repro.noc.simulator import (
     NoCSimulator,
     SimulatorConfig,
 )
+from repro.obs import SimulatorProbe
 from repro.routing.shortest_path import all_pairs_shortest_paths
 from repro.routing.table import RoutingTable
 from repro.routing.xy import build_xy_routing_table
@@ -68,6 +69,7 @@ def run_engine(
     traffic: list[tuple[int, int, int, int]],
     buffer_capacity: int,
     pipeline_delay: int,
+    probed: bool = False,
 ) -> NoCSimulator:
     topology, routing = FABRICS[fabric]()
     simulator = NoCSimulator(
@@ -79,6 +81,8 @@ def run_engine(
             router_pipeline_delay_cycles=pipeline_delay,
         ),
     )
+    if probed:
+        simulator.attach_probe(SimulatorProbe())
     nodes = topology.routers()
     scheduled = 0
     for cycle, source_index, destination_index, size_bits in traffic:
@@ -135,6 +139,40 @@ def test_custom_topology_engines_equivalent(traffic, buffer_capacity, pipeline_d
     event = run_engine(ENGINE_EVENT, "custom", traffic, buffer_capacity, pipeline_delay)
     reference = run_engine(ENGINE_REFERENCE, "custom", traffic, buffer_capacity, pipeline_delay)
     assert_equivalent(event, reference)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    traffic=st.lists(traffic_entries, min_size=1, max_size=32),
+    fabric=st.sampled_from(sorted(FABRICS)),
+    buffer_capacity=st.sampled_from([1, 2]),
+    pipeline_delay=st.sampled_from([1, 2]),
+)
+def test_probed_engines_equivalent_and_unperturbed(
+    traffic, fabric, buffer_capacity, pipeline_delay
+):
+    """Probes observe without perturbing: probed engines stay bit-identical.
+
+    Both engines run with a `SimulatorProbe` attached; their full reports —
+    including the `probe_*` figures the probe contributes — must match each
+    other, and stripping the `probe_*` keys must reproduce the unprobed
+    report exactly (attaching a probe never changes what is simulated).
+    """
+    event = run_engine(
+        ENGINE_EVENT, fabric, traffic, buffer_capacity, pipeline_delay, probed=True
+    )
+    reference = run_engine(
+        ENGINE_REFERENCE, fabric, traffic, buffer_capacity, pipeline_delay, probed=True
+    )
+    assert_equivalent(event, reference)
+    probed_report = event.report()
+    assert any(key.startswith("probe_") for key in probed_report)
+    unprobed = run_engine(ENGINE_EVENT, fabric, traffic, buffer_capacity, pipeline_delay)
+    stripped = {
+        key: value for key, value in probed_report.items() if not key.startswith("probe_")
+    }
+    assert stripped == unprobed.report()
+    assert event.statistics.delivery_cycles() == unprobed.statistics.delivery_cycles()
 
 
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
