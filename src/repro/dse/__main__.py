@@ -112,6 +112,8 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         axes["routing_policy"] = [
             value for value in arguments.routing_policy.split(",") if value
         ]
+    if arguments.engine:
+        axes["engine"] = [value for value in arguments.engine.split(",") if value]
     cache = ResultCache(arguments.results)
     artifacts = _artifact_store(arguments)
     session = ObsSession.enabled() if arguments.trace is not None else NULL_SESSION
@@ -339,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="routing policies to sweep the baseline fabric over "
                           "(shorthand for --axis routing_policy=...; see "
                           "list-fabrics; default: the suite's grid)")
+    run.add_argument("--engine", default=None, metavar="ENG1,ENG2",
+                     help="simulator engines to sweep (shorthand for --axis "
+                          "engine=...; 'event', 'reference' or 'batch' — batch "
+                          "cells sharing a fabric+routing signature are simulated "
+                          "in one vectorized call; default: the suite's grid)")
     run.add_argument("--trace", type=Path, default=None, metavar="FILE",
                      help="record an observability event log (spans + metrics, "
                           "JSONL) of this sweep to FILE; inspect it with the "

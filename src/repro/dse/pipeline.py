@@ -31,8 +31,9 @@ memo (``"memory"``) or the on-disk artifact store (``"store"``).
 
 from __future__ import annotations
 
+import json
 import time
-from collections.abc import Callable, Hashable, Iterator
+from collections.abc import Callable, Hashable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, replace
 
@@ -80,7 +81,14 @@ from repro.exceptions import (
     SimulationError,
     SynthesisError,
 )
-from repro.noc.simulator import ENGINE_EVENT, ENGINES, NoCSimulator, SimulatorConfig
+from repro.noc.batch import BatchSimulator, DrainOp, RunOp, ScheduleOp
+from repro.noc.simulator import (
+    ENGINE_BATCH,
+    ENGINE_EVENT,
+    ENGINES,
+    NoCSimulator,
+    SimulatorConfig,
+)
 from repro.noc.stats import throughput_mbps_from_cycles
 from repro.noc.traffic import acg_messages
 from repro.obs import SimulatorProbe, get_session, get_tracer
@@ -228,7 +236,9 @@ class EvaluationSettings:
     buffer_capacity_packets: int = 4
     max_cycles: int = 100_000
     engine: str = ENGINE_EVENT
-    """Simulator engine: ``"event"`` (skip dead time) or ``"reference"``."""
+    """Simulator engine: ``"event"`` (skip dead time), ``"reference"``
+    (dense cycle loop) or ``"batch"`` (vectorized numpy; the runner groups
+    compatible batch cells into one multi-cell simulator call)."""
 
     def __post_init__(self) -> None:
         if self.architecture not in ("custom", "mesh"):
@@ -509,6 +519,50 @@ class ArchitectureMetrics:
         }
 
 
+def _metrics_from_state(
+    name: str,
+    topology: Topology,
+    technology: Technology,
+    statistics,
+    energy,
+    engine: str,
+    cycles_stepped: int,
+    iterations: int,
+    aes_blocks: bool,
+) -> ArchitectureMetrics:
+    """Fold one finished simulation state into :class:`ArchitectureMetrics`.
+
+    Shared by the per-cell simulators and the batched simulate stage so
+    solo and batched evaluations compute every figure with the exact same
+    float operations — bit-identical metrics either way.  ``aes_blocks``
+    selects the paper's block-throughput formula over the delivered-bits
+    throughput used for generic ACG traffic.
+    """
+    total_cycles = statistics.total_cycles
+    cycles_per_block = total_cycles / iterations
+    if aes_blocks:
+        throughput = throughput_mbps_from_cycles(
+            AES_BLOCK_SIZE_BITS, cycles_per_block, technology.frequency_mhz
+        )
+    else:
+        throughput = statistics.throughput_mbps(technology.frequency_mhz)
+    return ArchitectureMetrics(
+        name=name,
+        num_blocks=iterations,
+        total_cycles=total_cycles,
+        cycles_per_block=cycles_per_block,
+        throughput_mbps=throughput,
+        average_latency_cycles=statistics.average_latency_cycles(),
+        average_hops=statistics.average_hops(),
+        average_power_mw=energy.average_power_mw(max(total_cycles, 1)),
+        energy_per_block_uj=energy.total_energy_uj / iterations,
+        num_physical_links=topology.num_physical_links,
+        max_channel_utilization=statistics.max_channel_utilization(),
+        engine=engine,
+        cycles_stepped=cycles_stepped,
+    )
+
+
 def _session_probe(simulator: NoCSimulator) -> SimulatorProbe | None:
     """Attach a fresh probe when the active obs session asks for capture.
 
@@ -555,24 +609,16 @@ def simulate_aes_traffic(
             trace.phases, computation_cycles_per_phase=computation_cycles_per_phase
         )
     _flush_probe(probe, simulator, name)
-    total_cycles = simulator.statistics.total_cycles
-    cycles_per_block = total_cycles / blocks
-    return ArchitectureMetrics(
-        name=name,
-        num_blocks=blocks,
-        total_cycles=total_cycles,
-        cycles_per_block=cycles_per_block,
-        throughput_mbps=throughput_mbps_from_cycles(
-            AES_BLOCK_SIZE_BITS, cycles_per_block, technology.frequency_mhz
-        ),
-        average_latency_cycles=simulator.statistics.average_latency_cycles(),
-        average_hops=simulator.statistics.average_hops(),
-        average_power_mw=simulator.average_power_mw(),
-        energy_per_block_uj=simulator.energy.total_energy_uj / blocks,
-        num_physical_links=topology.num_physical_links,
-        max_channel_utilization=simulator.statistics.max_channel_utilization(),
+    return _metrics_from_state(
+        name,
+        topology,
+        technology,
+        simulator.statistics,
+        simulator.energy,
         engine=simulator.config.engine,
         cycles_stepped=simulator.cycles_stepped,
+        iterations=blocks,
+        aes_blocks=True,
     )
 
 
@@ -599,21 +645,16 @@ def simulate_acg_traffic(
         simulator.schedule_messages(acg_messages(acg, packet_size_bits=packet_size_bits))
         simulator.run_until_drained()
     _flush_probe(probe, simulator, name)
-    total_cycles = simulator.statistics.total_cycles
-    return ArchitectureMetrics(
-        name=name,
-        num_blocks=repetitions,
-        total_cycles=total_cycles,
-        cycles_per_block=total_cycles / repetitions,
-        throughput_mbps=simulator.statistics.throughput_mbps(technology.frequency_mhz),
-        average_latency_cycles=simulator.statistics.average_latency_cycles(),
-        average_hops=simulator.statistics.average_hops(),
-        average_power_mw=simulator.average_power_mw(),
-        energy_per_block_uj=simulator.energy.total_energy_uj / repetitions,
-        num_physical_links=topology.num_physical_links,
-        max_channel_utilization=simulator.statistics.max_channel_utilization(),
+    return _metrics_from_state(
+        name,
+        topology,
+        technology,
+        simulator.statistics,
+        simulator.energy,
         engine=simulator.config.engine,
         cycles_stepped=simulator.cycles_stepped,
+        iterations=repetitions,
+        aes_blocks=False,
     )
 
 
@@ -1026,3 +1067,299 @@ def evaluate(
         span.annotate(status=record.status)
     record.runtime_seconds = time.perf_counter() - start
     return record
+
+
+# ----------------------------------------------------------------------
+# batch-aware cell evaluation (the runner's simulate-stage batching)
+# ----------------------------------------------------------------------
+def axis_label(axes: Mapping[str, object]) -> str:
+    """Compact human-readable cell label: ``arch=mesh,delay=2``."""
+    if not axes:
+        return "base"
+    return ",".join(f"{key}={value}" for key, value in axes.items())
+
+
+#: cells per batch-simulator call; a stage group larger than this is
+#: chunked, so the last chunk may be ragged (fewer cells than the cap)
+MAX_BATCH_CELLS = 16
+
+#: exception type -> record status, in match order (DeadlockError is a
+#: RoutingError; anything unlisted is a caller bug and keeps raising)
+_FAILURE_STATUSES: tuple[tuple[type, str], ...] = (
+    (DecompositionError, STATUS_DECOMPOSITION_FAILED),
+    (SynthesisError, STATUS_SYNTHESIS_FAILED),
+    (RoutingError, STATUS_ROUTING_FAILED),
+    (SimulationError, STATUS_SIMULATION_FAILED),
+)
+
+
+def _assign_failure(record: EvaluationRecord, error: Exception) -> None:
+    """Map a pipeline exception onto the record statuses (or re-raise)."""
+    for exception_type, status in _FAILURE_STATUSES:
+        if isinstance(error, exception_type):
+            record.status = status
+            record.error = str(error)
+            return
+    raise error
+
+
+@dataclass
+class _BatchCell:
+    """One batch-eligible cell between its prep and simulate phases."""
+
+    index: int
+    scenario: Scenario
+    settings: EvaluationSettings
+    record: EvaluationRecord
+    prep_seconds: float
+    done: bool = False
+    topology: Topology | None = None
+    routing: RoutingFunction | None = None
+    name: str = ""
+    group_key: object = None
+
+
+def _batch_group_key(topology: Topology, table: RoutingTable) -> object:
+    """Batching compatibility: same fabric structure, same routed decisions.
+
+    Cells may share one :class:`~repro.noc.batch.BatchSimulator` exactly
+    when their topologies have identical signatures (structure, channel
+    lengths, positions) and their routing tables resolve identically —
+    the table version plus the canonical next-hop entries.  Everything
+    else (buffer capacity, pipeline delay, flit width, technology, even
+    the traffic program) varies per cell inside the batch.
+    """
+    signature = json.dumps(topology.signature(), sort_keys=True, default=repr)
+    entries = tuple(
+        sorted((repr(key), repr(hop)) for key, hop in table.entries().items())
+    )
+    return (signature, table.version, entries)
+
+
+def _prepare_batch_cell(
+    index: int,
+    scenario: Scenario,
+    settings: EvaluationSettings,
+    axes: dict[str, object] | None,
+    key: str,
+    context: "object | None",
+) -> _BatchCell:
+    """Run one batch-eligible cell's pipeline up to (not including) simulate.
+
+    Mirrors :func:`evaluate` stage for stage — same stage timings, stage
+    reuse markers, deadlock gate and failure statuses — and returns the
+    routed fabric so compatible cells can be grouped into one simulator.
+    """
+    settings = scenario.effective_settings(settings)
+    record = EvaluationRecord(
+        scenario=scenario.name,
+        architecture=settings.architecture,
+        config_label=axis_label(axes or {}),
+        cache_key=key,
+        axes=dict(axes or {}),
+        settings=settings.as_dict(),
+    )
+    start = time.perf_counter()
+    try:
+        if settings.architecture == "mesh":
+            with _stage(record, "route"):
+                fabric, table, deadlock_report = baseline_route_stage(scenario, settings)
+                _apply_deadlock_gate(record, settings, deadlock_report)
+            topology: Topology = fabric
+            name = fabric.name
+        else:
+            architecture = _synthesize_custom(scenario, settings, record, context)
+            topology = architecture.topology
+            table = architecture.routing_table
+            name = architecture.topology.name
+        routing = table.frozen_next_hop()
+    except (DecompositionError, SynthesisError, RoutingError, SimulationError) as error:
+        _assign_failure(record, error)
+        record.runtime_seconds = time.perf_counter() - start
+        return _BatchCell(
+            index=index,
+            scenario=scenario,
+            settings=settings,
+            record=record,
+            prep_seconds=record.runtime_seconds,
+            done=True,
+        )
+    return _BatchCell(
+        index=index,
+        scenario=scenario,
+        settings=settings,
+        record=record,
+        prep_seconds=time.perf_counter() - start,
+        topology=topology,
+        routing=routing,
+        name=name,
+        group_key=_batch_group_key(topology, table),
+    )
+
+
+def _batch_ops(
+    scenario: Scenario, ops_cache: dict[int, list[object]]
+) -> list[object]:
+    """The scenario's traffic as a batch op program (cached per scenario).
+
+    Replays exactly what the per-cell traffic modes do: per ACG repetition
+    one schedule + drain, or per AES phase one schedule + drain + the
+    computation allowance.  The program (including the Python-AES phase
+    traces) is shared by every cell driving the same scenario in a batch.
+    """
+    ops = ops_cache.get(id(scenario))
+    if ops is not None:
+        return ops
+    ops = []
+    if scenario.traffic == TRAFFIC_ACG:
+        messages = tuple(
+            acg_messages(scenario.acg, packet_size_bits=scenario.packet_size_bits)
+        )
+        for _ in range(scenario.repetitions):
+            ops.append(ScheduleOp(messages))
+            ops.append(DrainOp(None))
+    else:  # TRAFFIC_AES_PHASES (eligibility is checked by the caller)
+        aes = DistributedAES(FIPS197_KEY)
+        plaintext = bytes(range(16))
+        for block_index in range(scenario.aes_blocks):
+            block = bytes((byte + block_index) % 256 for byte in plaintext)
+            trace = aes.encrypt_block(block)
+            for phase in trace.phases:
+                ops.append(ScheduleOp(tuple(phase)))
+                ops.append(DrainOp(None))
+                if scenario.computation_cycles_per_phase:
+                    ops.append(RunOp(scenario.computation_cycles_per_phase))
+    ops_cache[id(scenario)] = ops
+    return ops
+
+
+def _simulate_batch_chunk(
+    chunk: list[_BatchCell], ops_cache: dict[int, list[object]]
+) -> None:
+    """Simulate one group chunk in a single multi-cell batch call.
+
+    Wall time is measured once for the whole call and attributed evenly:
+    each record gets ``stage_seconds["simulate"] = wall / n`` plus a
+    ``stage_reuse["simulate"] = "batch:n"`` provenance marker.  Per-cell
+    simulation failures (drain budgets, routing loops) land on their own
+    record; a batch-level failure (numpy unavailable, an invalid config)
+    fails every cell of the chunk with the same message.
+    """
+    first = chunk[0]
+    start = time.perf_counter()
+    share = 0.0
+    probes: list[SimulatorProbe | None] = [None] * len(chunk)
+    capture = get_session().capture_probes
+    try:
+        core = BatchSimulator(
+            first.topology,
+            first.routing,
+            [cell.settings.build_simulator_config() for cell in chunk],
+            technologies=[cell.settings.build_technology() for cell in chunk],
+        )
+        for position, cell in enumerate(chunk):
+            if capture:
+                probes[position] = core.attach_probe(position, SimulatorProbe())
+            for op in _batch_ops(cell.scenario, ops_cache):
+                core.enqueue(position, op)
+        with get_tracer().span("dse.simulate", cells=len(chunk), engine=ENGINE_BATCH):
+            core.execute()
+    except SimulationError as error:
+        share = (time.perf_counter() - start) / len(chunk)
+        for cell in chunk:
+            _assign_failure(cell.record, error)
+            cell.record.stage_seconds["simulate"] = share
+            cell.record.runtime_seconds = cell.prep_seconds + share
+        return
+    share = (time.perf_counter() - start) / len(chunk)
+    for position, cell in enumerate(chunk):
+        record = cell.record
+        record.stage_seconds["simulate"] = share
+        record.stage_reuse["simulate"] = f"batch:{len(chunk)}"
+        error = core.error(position)
+        if error is not None:
+            _assign_failure(record, error)
+            record.runtime_seconds = cell.prep_seconds + share
+            continue
+        metrics = _metrics_from_state(
+            cell.name,
+            cell.topology,
+            cell.settings.build_technology(),
+            core.statistics(position),
+            core.energy(position),
+            engine=ENGINE_BATCH,
+            cycles_stepped=core.cycles_stepped(position),
+            iterations=(
+                cell.scenario.aes_blocks
+                if cell.scenario.traffic == TRAFFIC_AES_PHASES
+                else cell.scenario.repetitions
+            ),
+            aes_blocks=cell.scenario.traffic == TRAFFIC_AES_PHASES,
+        )
+        probe = probes[position]
+        if probe is not None:
+            session_metrics = get_session().metrics
+            if session_metrics is not None:
+                probe.emit_metrics(
+                    session_metrics, core.statistics(position), architecture=cell.name
+                )
+        with _stage(record, "score"):
+            record.metrics.update(score_stage(metrics, cell.topology))
+        record.runtime_seconds = (
+            cell.prep_seconds + share + record.stage_seconds.get("score", 0.0)
+        )
+
+
+def evaluate_cells(
+    cell_payloads: Sequence[tuple[Scenario, EvaluationSettings, dict[str, object], str]],
+    context: "object | None" = None,
+) -> list[EvaluationRecord]:
+    """Evaluate a sequence of sweep cells, batching compatible batch cells.
+
+    The drop-in plural of :func:`evaluate`: records come back in payload
+    order with identical content.  Cells whose effective engine is
+    ``"batch"`` (and whose traffic mode is one of the built-ins the op
+    programs cover) are prepared up to the simulate stage, grouped by
+    :func:`_batch_group_key` — same topology signature, same routing-table
+    version and entries — chunked to :data:`MAX_BATCH_CELLS`, and simulated
+    in one :class:`~repro.noc.batch.BatchSimulator` call per chunk.  Every
+    other cell takes the plain :func:`evaluate` path unchanged.
+
+    Batching is provenance-visible but result-invariant: grouping and order
+    never change any record metric (the batch engine advances every cell on
+    its own cycle counter), only ``stage_seconds["simulate"]`` (the evenly
+    attributed share of the batch wall time) and the
+    ``stage_reuse["simulate"] = "batch:n"`` marker.
+    """
+    records: list[EvaluationRecord | None] = [None] * len(cell_payloads)
+    batchable: list[_BatchCell] = []
+    for index, (scenario, settings, axes, key) in enumerate(cell_payloads):
+        effective = scenario.effective_settings(settings)
+        if effective.engine == ENGINE_BATCH and scenario.traffic in (
+            TRAFFIC_ACG,
+            TRAFFIC_AES_PHASES,
+        ):
+            prepared = _prepare_batch_cell(index, scenario, settings, axes, key, context)
+            if prepared.done:
+                records[index] = prepared.record
+            else:
+                batchable.append(prepared)
+        else:
+            records[index] = evaluate(
+                scenario,
+                settings,
+                cache_key=key,
+                config_label=axis_label(axes),
+                axes=axes,
+                context=context,
+            )
+    groups: dict[object, list[_BatchCell]] = {}
+    for prepared in batchable:
+        groups.setdefault(prepared.group_key, []).append(prepared)
+    ops_cache: dict[int, list[object]] = {}
+    for group in groups.values():
+        for offset in range(0, len(group), MAX_BATCH_CELLS):
+            _simulate_batch_chunk(group[offset : offset + MAX_BATCH_CELLS], ops_cache)
+    for prepared in batchable:
+        records[prepared.index] = prepared.record
+    return records

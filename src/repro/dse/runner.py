@@ -28,17 +28,25 @@ from repro.dse.cache import (
     cache_key,
     decomposition_stage_key,
 )
-from repro.dse.pipeline import EvaluationSettings, Scenario, evaluate
+from repro.dse.pipeline import (
+    EvaluationSettings,
+    Scenario,
+    axis_label,
+    evaluate_cells,
+)
 from repro.dse.records import STAGE_COMPUTED, EvaluationRecord
 from repro.exceptions import ConfigurationError
 from repro.obs import ObsSession, get_session, use_session
 
-
-def axis_label(axes: Mapping[str, object]) -> str:
-    """Compact human-readable cell label: ``arch=mesh,delay=2``."""
-    if not axes:
-        return "base"
-    return ",".join(f"{key}={value}" for key, value in axes.items())
+__all__ = [
+    "CellPayload",
+    "SweepCell",
+    "SweepResult",
+    "axis_label",
+    "expand_grid",
+    "plan_sweep",
+    "run_sweep",
+]
 
 
 def expand_grid(
@@ -204,18 +212,10 @@ def _evaluate_cells(
     cell_payloads: Sequence[CellPayload], context: StageContext
 ) -> list[EvaluationRecord]:
     """Evaluate cells in order under one stage context (shared by both the
-    serial path and the process-pool workers)."""
-    return [
-        evaluate(
-            scenario,
-            settings,
-            cache_key=key,
-            config_label=axis_label(axes),
-            axes=axes,
-            context=context,
-        )
-        for scenario, settings, axes, key in cell_payloads
-    ]
+    serial path and the process-pool workers).  Delegates to the pipeline's
+    :func:`~repro.dse.pipeline.evaluate_cells`, which additionally batches
+    compatible ``engine="batch"`` cells into shared simulator calls."""
+    return evaluate_cells(cell_payloads, context)
 
 
 #: spans + metric events one traced worker ships back to the coordinator
@@ -343,11 +343,14 @@ def _run_sweep_traced(
     else:
         # serial: one context shared across all groups maximizes reuse; the
         # coordinator's own session stays active, so spans and metrics land
-        # directly without any adoption step
+        # directly without any adoption step.  Groups are flattened into one
+        # evaluate_cells call (group-major order preserved) so batch-engine
+        # cells may share simulator batches across stage groups, too.
         context = StageContext(artifacts)
-        evaluated_groups = [
-            _evaluate_cells(cell_payloads, context) for cell_payloads, _, _ in payloads
+        flattened = [
+            payload for cell_payloads, _, _ in payloads for payload in cell_payloads
         ]
+        evaluated_groups = [_evaluate_cells(flattened, context)]
 
     evaluated = [record for group in evaluated_groups for record in group]
     result.count_stage_reuse(evaluated)

@@ -23,6 +23,11 @@ class LinkEnergyModel:
 
     technology: Technology
 
+    def __post_init__(self) -> None:
+        # fabrics have a handful of distinct link lengths but the hot loops
+        # charge millions of traversals; cache the pure per-length figure
+        object.__setattr__(self, "_energy_cache", {})
+
     def repeaters_needed(self, length_mm: float) -> int:
         """Number of repeaters inserted on a link of ``length_mm`` millimetres.
 
@@ -42,6 +47,9 @@ class LinkEnergyModel:
         is charged per repeater as the equivalent of driving one repeater
         span worth of wire with the repeater-specific per-mm figure.
         """
+        cached = self._energy_cache.get(length_mm)
+        if cached is not None:
+            return cached
         if length_mm < 0:
             raise EnergyModelError("link length must be non-negative")
         wire = self.technology.link_energy_pj_per_bit_mm * length_mm
@@ -50,7 +58,9 @@ class LinkEnergyModel:
             * self.technology.repeater_energy_pj_per_bit_mm
             * self.technology.repeater_spacing_mm
         )
-        return wire + repeaters
+        energy = wire + repeaters
+        self._energy_cache[length_mm] = energy
+        return energy
 
     def switch_energy_pj(self) -> float:
         """``E_Sbit``: per-bit energy of one router traversal."""

@@ -33,6 +33,11 @@ class EnergyAccount:
         default=None, init=False, repr=False, compare=False
     )
     """Lazily built per-technology link model, shared by every charge."""
+    _link_pj_per_bit: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    """Per-length ``E_Lbit`` figures, cached on the account so the hot
+    charge path skips the model call entirely."""
 
     # ------------------------------------------------------------------
     # charging
@@ -47,10 +52,14 @@ class EnergyAccount:
         """Charge one link-traversal batch of ``bits`` bits over ``length_mm``."""
         if bits < 0:
             raise EnergyModelError("cannot charge a negative number of bits")
-        if self._link_model is None:
-            self._link_model = LinkEnergyModel(self.technology)
+        pj_per_bit = self._link_pj_per_bit.get(length_mm)
+        if pj_per_bit is None:
+            if self._link_model is None:
+                self._link_model = LinkEnergyModel(self.technology)
+            pj_per_bit = self._link_model.link_energy_pj(length_mm)
+            self._link_pj_per_bit[length_mm] = pj_per_bit
         self.link_events.append((bits, length_mm))
-        self._link_energy_pj += bits * self._link_model.link_energy_pj(length_mm)
+        self._link_energy_pj += bits * pj_per_bit
 
     def charge_hop(self, bits: float, length_mm: float) -> None:
         """Charge one switch traversal plus the outgoing link traversal."""

@@ -11,7 +11,7 @@ from repro.exceptions import SimulationError
 NodeId = Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An application-level transfer request (one logical message)."""
 
@@ -27,7 +27,7 @@ class Message:
             raise SimulationError("a message cannot be sent to its own source")
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A message instantiated in the network with timing bookkeeping.
 

@@ -1,4 +1,4 @@
-"""Cycle-accurate NoC simulator with two interchangeable engines.
+"""Cycle-accurate NoC simulator with three interchangeable engines.
 
 This is the measurement substrate that replaces the paper's Virtex-2 FPGA
 prototype: the same architecture-agnostic fabric simulates both the 4x4 mesh
@@ -19,7 +19,7 @@ Model summary (packet-switched, one-flit-per-cycle links):
   :class:`~repro.energy.power.EnergyAccount` at finalize, so the same run
   yields the energy and average-power figures.
 
-Two engines drive the model (``SimulatorConfig.engine``):
+Three engines drive the model (``SimulatorConfig.engine``):
 
 * ``"event"`` (default) — event-driven: only routers that might move a
   packet are visited, and the clock jumps straight to the next cycle where
@@ -28,8 +28,14 @@ Two engines drive the model (``SimulatorConfig.engine``):
   activation conditions and the equivalence argument.
 * ``"reference"`` — the dense cycle-stepped loop that visits every router
   every cycle.  It is kept forever as the executable specification the
-  event engine is tested against: both engines produce bit-identical
+  other engines are tested against: all engines produce bit-identical
   :meth:`NoCSimulator.report` output and per-packet delivery cycles.
+* ``"batch"`` — vectorized numpy engine (:mod:`repro.noc.batch`): router
+  and channel state laid out as flat arrays so a whole batch of sweep
+  cells advances per array operation.  Through :class:`NoCSimulator` it
+  runs as a batch of one; the DSE runner groups compatible sweep cells
+  into real multi-cell batches.  numpy is a dependency of this engine
+  only — the scalar engines stay stdlib-only.
 
 The equivalence rests on two observations: (i) round-robin arbitration in
 the dense loop advances its pointer exactly once per router per cycle, so
@@ -62,8 +68,10 @@ RoutingFunction = Callable[[NodeId, NodeId], NodeId]
 ENGINE_EVENT = "event"
 #: dense cycle-stepped engine: the executable specification
 ENGINE_REFERENCE = "reference"
+#: vectorized numpy engine: flat (cell, port/channel) arrays, batchable
+ENGINE_BATCH = "batch"
 
-ENGINES = (ENGINE_EVENT, ENGINE_REFERENCE)
+ENGINES = (ENGINE_EVENT, ENGINE_REFERENCE, ENGINE_BATCH)
 
 #: how many stuck packets the drain-budget error names individually
 _STUCK_PACKETS_NAMED = 8
@@ -79,7 +87,8 @@ class SimulatorConfig:
     max_cycles: int = 1_000_000
     charge_leakage: bool = True
     engine: str = ENGINE_EVENT
-    """``"event"`` (skip dead time) or ``"reference"`` (dense cycle loop)."""
+    """``"event"`` (skip dead time), ``"reference"`` (dense cycle loop) or
+    ``"batch"`` (vectorized numpy arrays, batchable across sweep cells)."""
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -152,6 +161,19 @@ class NoCSimulator:
             node: (lambda packet, _node=node: self.network.output_request(_node, packet))
             for node in self.network.routers
         }
+        self._batch = None
+        if self.config.engine == ENGINE_BATCH:
+            from repro.noc.batch import BatchSimulator
+
+            self._batch = BatchSimulator(
+                topology, routing, [self.config], technologies=[technology]
+            )
+            # the single batch cell owns the live counters; re-binding its
+            # result objects keeps statistics/energy the public surface
+            self.statistics = self._batch.statistics(0)
+            self.energy = self._batch.energy(0)
+            if probe is not None:
+                self._batch.attach_probe(0, probe)
 
     def sync_topology(self) -> None:
         """Adopt routers/channels added to the topology after construction.
@@ -165,6 +187,12 @@ class NoCSimulator:
         routers keep their positions, so an in-flight simulation's
         arbitration stays stable.
         """
+        if self._batch is not None:
+            raise SimulationError(
+                "the batch engine freezes the fabric layout at construction; "
+                "sync_topology() is only available on the 'event' and "
+                "'reference' engines"
+            )
         self.network.sync_topology()
         for node in self.network.routers:
             if node in self._router_order:
@@ -178,6 +206,8 @@ class NoCSimulator:
     def attach_probe(self, probe: SimulatorProbe) -> SimulatorProbe:
         """Attach an observability probe (idempotent; returns the probe)."""
         self.probe = probe
+        if self._batch is not None:
+            self._batch.attach_probe(0, probe)
         return probe
 
     # ------------------------------------------------------------------
@@ -185,6 +215,10 @@ class NoCSimulator:
     # ------------------------------------------------------------------
     def schedule_message(self, message: Message, cycle: int | None = None) -> Packet:
         """Queue a message for injection at ``cycle`` (default: now)."""
+        if self._batch is not None:
+            # the batch core repeats the validations below verbatim and
+            # records the injection on the shared statistics object
+            return self._batch.schedule_message(0, message, cycle)
         if cycle is None:
             cycle = self.current_cycle
         if cycle < self.current_cycle:
@@ -294,6 +328,11 @@ class NoCSimulator:
         :class:`EnergyAccount` after the next :meth:`report` or ``run*()``
         call, which flush the batches.
         """
+        if self._batch is not None:
+            raise SimulationError(
+                "the batch engine executes whole runs; step() is only "
+                "available on the 'event' and 'reference' engines"
+            )
         self._inject_due_packets()
         self._note_arrivals(self.network.deliver_arrivals(self.current_cycle))
         for node, router in self.network.routers.items():
@@ -459,12 +498,18 @@ class NoCSimulator:
         """Run for a fixed number of cycles."""
         tracer = get_tracer()
         with tracer.span("noc.run") as span:
-            if self.config.engine == ENGINE_EVENT:
+            if self._batch is not None:
+                from repro.noc.batch import RunOp
+
+                self._batch.enqueue(0, RunOp(cycles))
+                self._execute_batch()  # the batch core finalizes per op
+            elif self.config.engine == ENGINE_EVENT:
                 self._run_event(cycles)
+                self._finalize()
             else:
                 for _ in range(cycles):
                     self.step()
-            self._finalize()
+                self._finalize()
             if tracer.enabled:
                 span.annotate(
                     engine=self.config.engine,
@@ -483,14 +528,20 @@ class NoCSimulator:
         start = self.current_cycle
         tracer = get_tracer()
         with tracer.span("noc.run_until_drained") as span:
-            if self.config.engine == ENGINE_EVENT:
+            if self._batch is not None:
+                from repro.noc.batch import DrainOp
+
+                self._batch.enqueue(0, DrainOp(max_cycles))
+                self._execute_batch()  # the batch core finalizes per op
+            elif self.config.engine == ENGINE_EVENT:
                 self._run_event_until_drained(start, budget)
+                self._finalize()
             else:
                 while not self._drained():
                     if self.current_cycle - start > budget:
                         raise self._drain_budget_error(budget)
                     self.step()
-            self._finalize()
+                self._finalize()
             if tracer.enabled:
                 span.annotate(
                     engine=self.config.engine,
@@ -498,6 +549,19 @@ class NoCSimulator:
                     cycles_stepped=self.cycles_stepped,
                 )
         return self.current_cycle
+
+    def _execute_batch(self) -> None:
+        """Drive the single-cell batch core, mirroring its counters back.
+
+        The core captures per-cell failures; re-raising here reproduces the
+        scalar engines' raise-from-``run*()`` behaviour (including the
+        post-failure cycle counters, which the ``finally`` keeps in sync).
+        """
+        try:
+            self._batch.execute(raise_errors=True)
+        finally:
+            self.current_cycle = self._batch.current_cycle(0)
+            self.cycles_stepped = self._batch.cycles_stepped(0)
 
     def _drain_budget_error(self, budget: int) -> SimulationError:
         """The drain-failure error, naming the packets that are stuck."""
@@ -603,7 +667,9 @@ class NoCSimulator:
         probed and unprobed runs agree on everything but the extra keys.
         """
         # catch up the batched traversal counters so manual step() loops
-        # that never hit a finalize still read complete energy figures
+        # (or runs that raised before finalize) still read complete figures
+        if self._batch is not None:
+            self._batch.flush_energy(0)
         self._flush_energy_batches()
         report = dict(self.statistics.summary())
         report.update(self.energy.summary())

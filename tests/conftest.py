@@ -8,6 +8,16 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden report fixtures under tests/fixtures/golden/ "
+        "from the current reference engine instead of asserting against them",
+    )
+
 from repro.aes.acg import build_aes_acg
 from repro.arch.mesh import build_mesh
 from repro.core.graph import ApplicationGraph, DiGraph

@@ -1,0 +1,143 @@
+"""Determinism and provenance of the batch-aware DSE simulate stage.
+
+The bug class batching introduces is *coupling*: a cell's results
+silently depending on what else shared its simulator batch (grouping,
+order, ragged chunking).  These tests pin the contract of
+:func:`repro.dse.pipeline.evaluate_cells`: every record metric —
+including ``sim_cycles_stepped`` and the energy figures — is identical
+whether a cell runs solo through :func:`~repro.dse.pipeline.evaluate`
+or inside any batch composition; only the ``stage_reuse["simulate"]``
+provenance marker and the attributed ``stage_seconds`` may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.dse.pipeline as pipeline
+from repro.dse.pipeline import EvaluationSettings, Scenario, evaluate, evaluate_cells
+from repro.dse.records import STATUS_SIMULATION_FAILED
+from repro.dse.runner import run_sweep
+from repro.workloads.benchmarks import mpeg4_decoder_acg, vopd_acg
+
+pytestmark = pytest.mark.differential
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return [
+        Scenario(name="mpeg4", acg=mpeg4_decoder_acg(), repetitions=2),
+        Scenario(name="vopd", acg=vopd_acg(), repetitions=1),
+    ]
+
+
+def payloads(scenarios, engine, capacities=(2, 4)):
+    out = []
+    for scenario in scenarios:
+        for capacity in capacities:
+            settings = EvaluationSettings(
+                architecture="mesh", engine=engine, buffer_capacity_packets=capacity
+            )
+            axes = {"buffer_capacity_packets": capacity}
+            out.append((scenario, settings, axes, f"{scenario.name}-{capacity}-{engine}"))
+    return out
+
+
+def metric_views(records):
+    """The result-bearing view of records: everything but timing provenance."""
+    return [
+        (
+            record.scenario,
+            record.cache_key,
+            record.status,
+            record.error,
+            dict(record.metrics),
+        )
+        for record in records
+    ]
+
+
+def test_batched_records_match_solo_evaluate(scenarios):
+    """Solo `evaluate` and batched `evaluate_cells` agree on every metric."""
+    cells = payloads(scenarios, "batch")
+    batched = evaluate_cells(cells)
+    solo = [
+        evaluate(scenario, settings, cache_key=key, config_label="base", axes=axes)
+        for scenario, settings, axes, key in cells
+    ]
+    assert metric_views(batched) == metric_views(solo)
+    for record in batched:
+        assert record.stage_reuse["simulate"] == "batch:2"
+    for record in solo:
+        assert "simulate" not in record.stage_reuse
+
+
+def test_batch_grouping_and_order_invariance(scenarios):
+    """Any payload order produces the same per-key records."""
+    cells = payloads(scenarios, "batch")
+    forward = {r.cache_key: r for r in evaluate_cells(cells)}
+    backward = {r.cache_key: r for r in evaluate_cells(list(reversed(cells)))}
+    assert forward.keys() == backward.keys()
+    for key in forward:
+        assert dict(forward[key].metrics) == dict(backward[key].metrics)
+        assert forward[key].status == backward[key].status
+
+
+def test_ragged_chunking_is_result_invariant(scenarios, monkeypatch):
+    """Chunk cap 2 over 3 compatible cells: a ragged batch:1 tail, same results.
+
+    Both scenarios are 4x4-mesh workloads but their routing tables differ,
+    so each scenario forms its own group; three capacity values per
+    scenario with ``MAX_BATCH_CELLS=2`` force a full chunk plus a ragged
+    single-cell chunk.
+    """
+    cells = payloads(scenarios, "batch", capacities=(1, 2, 4))
+    unchunked = {r.cache_key: r for r in evaluate_cells(cells)}
+    monkeypatch.setattr(pipeline, "MAX_BATCH_CELLS", 2)
+    chunked = evaluate_cells(cells)
+    markers = sorted(r.stage_reuse["simulate"] for r in chunked)
+    assert markers == ["batch:1", "batch:1", "batch:2", "batch:2", "batch:2", "batch:2"]
+    for record in chunked:
+        assert dict(record.metrics) == dict(unchunked[record.cache_key].metrics)
+
+
+def test_batch_engine_matches_event_engine_through_runner(scenarios):
+    """The engine axis through `run_sweep`: batch == event on every figure."""
+    result = run_sweep(
+        scenarios,
+        base=EvaluationSettings(architecture="mesh"),
+        axes={"engine": ["event", "batch"], "buffer_capacity_packets": [2, 4]},
+    )
+    assert not result.failed()
+    by_cell = {}
+    for record in result.records:
+        cell = (record.scenario, record.axes["buffer_capacity_packets"])
+        by_cell.setdefault(cell, {})[record.axes["engine"]] = record
+    for cell, pair in by_cell.items():
+        event, batch = pair["event"], pair["batch"]
+        assert dict(event.metrics) == dict(batch.metrics), cell
+        assert batch.stage_reuse.get("simulate", "").startswith("batch:")
+
+
+def test_per_cell_failure_is_isolated(scenarios):
+    """One cell exceeding its drain budget fails alone, with the solo text."""
+    scenario = scenarios[0]
+    good = EvaluationSettings(architecture="mesh", engine="batch")
+    bad = EvaluationSettings(architecture="mesh", engine="batch", max_cycles=3)
+    cells = [
+        (scenario, good, {"max_cycles": None}, "good"),
+        (scenario, bad, {"max_cycles": 3}, "bad"),
+    ]
+    records = {r.cache_key: r for r in evaluate_cells(cells)}
+    assert records["good"].status == "ok"
+    assert records["bad"].status == STATUS_SIMULATION_FAILED
+    solo = evaluate(scenario, bad, cache_key="bad-solo")
+    assert solo.status == STATUS_SIMULATION_FAILED
+    assert records["bad"].error == solo.error
+
+
+def test_non_batch_engines_pass_through(scenarios):
+    """Cells on scalar engines take the plain evaluate path, unmarked."""
+    records = evaluate_cells(payloads(scenarios, "event"))
+    assert all(r.status == "ok" for r in records)
+    assert all("simulate" not in r.stage_reuse for r in records)

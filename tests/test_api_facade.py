@@ -18,11 +18,12 @@ REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 class TestImportBudget:
     def test_import_is_light(self):
         """Satellite 3: `import repro.api` must not pull in the simulator,
-        the DSE machinery or hypothesis-sized test dependencies."""
+        the DSE machinery, numpy (a batch-engine-only dependency) or
+        hypothesis-sized test dependencies."""
         script = (
             "import sys; import repro.api; "
             "heavy = sorted(m for m in sys.modules if m.startswith("
-            "('repro.noc', 'repro.dse', 'hypothesis'))); "
+            "('repro.noc', 'repro.dse', 'hypothesis', 'numpy'))); "
             "print(','.join(heavy) or 'CLEAN')"
         )
         result = subprocess.run(
