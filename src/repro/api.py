@@ -124,9 +124,17 @@ _EXPORTS: dict[str, str] = {
     "file_suite": "repro.dse.scenarios",
     "run_sweep": "repro.dse.runner",
     "plan_sweep": "repro.dse.runner",
+    "run_cells": "repro.dse.runner",
     "ResultCache": "repro.dse.cache",
     "pareto_report": "repro.dse.analysis",
     "pareto_front": "repro.dse.analysis",
+    # guided search (multi-fidelity successive halving over the pipeline)
+    "run_search": "repro.dse.search",
+    "SearchConfig": "repro.dse.search",
+    "SearchResult": "repro.dse.search",
+    "RungSpec": "repro.dse.search",
+    "default_ladder": "repro.dse.search",
+    "margin_dominated": "repro.dse.search",
     # observability (stdlib-only: safe to resolve without the simulator)
     "Tracer": "repro.obs",
     "NullTracer": "repro.obs",

@@ -127,8 +127,14 @@ class SearchStatistics:
     same residual edge set."""
     elapsed_seconds: float = 0.0
     truncated: bool = False
+    truncated_by: str | None = None
+    """Which budget cut the search short: ``"timeout"`` (wall clock — the
+    result depends on machine speed), ``"leaves"`` or ``"nodes"`` (both
+    deterministic counter budgets), or ``None`` when the search completed.
+    Fidelity ladders key off this: a ``"nodes"``-truncated rung reproduces
+    bit-identically everywhere, a ``"timeout"``-truncated one may not."""
 
-    def as_dict(self) -> dict[str, float | int | bool]:
+    def as_dict(self) -> dict[str, float | int | bool | str | None]:
         """Plain-dict view of all counters (what evaluation records store)."""
         return {
             "nodes_expanded": self.nodes_expanded,
@@ -141,6 +147,7 @@ class SearchStatistics:
             "transposition_hits": self.transposition_hits,
             "elapsed_seconds": self.elapsed_seconds,
             "truncated": self.truncated,
+            "truncated_by": self.truncated_by,
         }
 
     def cache_hit_rate(self) -> float:
@@ -238,17 +245,24 @@ class _Budget:
         self.start = time.monotonic()
         self.leaves = 0
         self.exhausted = False
+        self.exhausted_by: str | None = None
 
     def elapsed(self) -> float:
         """Seconds since the search started."""
         return time.monotonic() - self.start
+
+    def _exhaust(self, reason: str) -> None:
+        # the first budget to trip names the truncation; later trips keep it
+        self.exhausted = True
+        if self.exhausted_by is None:
+            self.exhausted_by = reason
 
     def out_of_time(self) -> bool:
         """True (and latched) once the wall-clock budget is exhausted."""
         if self.config.total_timeout_seconds is None:
             return False
         if self.elapsed() > self.config.total_timeout_seconds:
-            self.exhausted = True
+            self._exhaust("timeout")
         return self.exhausted
 
     def out_of_leaves(self) -> bool:
@@ -256,7 +270,7 @@ class _Budget:
         if self.config.max_leaves is None:
             return False
         if self.leaves >= self.config.max_leaves:
-            self.exhausted = True
+            self._exhaust("leaves")
         return self.exhausted
 
     def out_of_nodes(self, nodes_expanded: int) -> bool:
@@ -264,7 +278,7 @@ class _Budget:
         if self.config.max_nodes_expanded is None:
             return False
         if nodes_expanded >= self.config.max_nodes_expanded:
-            self.exhausted = True
+            self._exhaust("nodes")
         return self.exhausted
 
 
@@ -660,12 +674,14 @@ class BranchAndBoundDecomposer(Decomposer):
         recurse(residual, [], 0.0, (), None, frozenset())
         statistics.elapsed_seconds = budget.elapsed()
         statistics.truncated = budget.exhausted
+        statistics.truncated_by = budget.exhausted_by
 
         if best["matchings"] is None:
             # The search budget ran out before reaching any leaf; fall back to
             # a greedy pass so the caller always receives a valid cover.
             fallback = GreedyDecomposer(self.library, cost_model, self.config).decompose(acg)
             fallback.statistics.truncated = True
+            fallback.statistics.truncated_by = budget.exhausted_by or "timeout"
             fallback.statistics.nodes_expanded += statistics.nodes_expanded
             fallback.statistics.matchings_tried += statistics.matchings_tried
             fallback.statistics.matchings_enumerated += statistics.matchings_enumerated
@@ -717,5 +733,6 @@ def decompose(
                 transposition_hits=statistics.transposition_hits,
                 branches_pruned=statistics.branches_pruned,
                 truncated=statistics.truncated,
+                truncated_by=statistics.truncated_by,
             )
     return result

@@ -15,6 +15,10 @@ exploration engine:
 * :mod:`repro.dse.runner` — grid expansion + process-pool fan-out of
   decomposition-sharing cell groups (re-runs only execute new cells, and
   the search runs once per decomposition sub-key);
+* :mod:`repro.dse.search` — multi-fidelity guided search: Pareto-aware
+  successive halving over a fidelity ladder (truncated budgets + short
+  simulation windows at low rungs), reproducing the exhaustive grid's
+  front with far fewer full-fidelity evaluations;
 * :mod:`repro.dse.analysis` — Pareto fronts over energy/latency/
   throughput, mesh-baseline normalization, stage-reuse summaries and
   flagging of budget-truncated (machine-speed-dependent) cells;
@@ -97,7 +101,16 @@ from repro.dse.runner import (
     axis_label,
     expand_grid,
     plan_sweep,
+    run_cells,
     run_sweep,
+)
+from repro.dse.search import (
+    RungSpec,
+    SearchConfig,
+    SearchResult,
+    default_ladder,
+    margin_dominated,
+    run_search,
 )
 from repro.dse.scenarios import (
     FILE_SUITE_PREFIX,
@@ -156,11 +169,18 @@ __all__ = [
     "stage_reuse_summary",
     "truncated_cells",
     "run_sweep",
+    "run_cells",
     "plan_sweep",
     "expand_grid",
     "axis_label",
     "SweepCell",
     "SweepResult",
+    "run_search",
+    "SearchConfig",
+    "SearchResult",
+    "RungSpec",
+    "default_ladder",
+    "margin_dominated",
     "SuiteSpec",
     "register_suite",
     "get_suite",

@@ -9,6 +9,10 @@ Examples::
     python -m repro.dse run --suite random --parallel --axis library=default,extended
     python -m repro.dse run --suite fabrics --topology mesh,torus,ring \\
         --routing-policy xy,dateline,up_down
+    python -m repro.dse search --suite embedded --margin 0.1
+    python -m repro.dse search --suite embedded \\
+        --rung screen:budget_fraction=0.16,simulation_cap=1,engine=batch \\
+        --rung full
     python -m repro.dse report
     python -m repro.dse report --suite smoke --csv sweep.csv
     python -m repro.dse run --suite smoke --trace trace.jsonl
@@ -23,7 +27,9 @@ and swept as a one-scenario suite.
 
 ``run`` executes a suite's grid against the on-disk caches (re-runs only
 evaluate new cells, and cells differing only in simulator axes share one
-decomposition through the stage-artifact store); ``report`` prints
+decomposition through the stage-artifact store); ``search`` races the
+same grid up a fidelity ladder instead of sweeping it exhaustively
+(``docs/search.md``); ``report`` prints
 per-scenario Pareto tables with mesh-normalized columns from the cached
 results, surfacing the deadlock-gate provenance (``deadlock_free`` /
 ``vc_channels_needed``) and flagging budget-truncated cells;
@@ -101,7 +107,8 @@ def _artifact_store(arguments: argparse.Namespace) -> StageArtifactStore | None:
     return StageArtifactStore(directory)
 
 
-def _cmd_run(arguments: argparse.Namespace) -> int:
+def _sweep_grid(arguments: argparse.Namespace):
+    """Resolve the suite + grid axes shared by ``run`` and ``search``."""
     spec = resolve_suite(arguments.suite)
     scenarios = spec.build()
     axes = dict(spec.default_axes)
@@ -114,6 +121,25 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         ]
     if arguments.engine:
         axes["engine"] = [value for value in arguments.engine.split(",") if value]
+    return spec, scenarios, axes
+
+
+def _finish_sweep_output(arguments, cache, artifacts, session) -> None:
+    """The cache/trace/next-step epilogue shared by ``run`` and ``search``."""
+    print(f"results: {cache.describe()}")
+    if artifacts is not None:
+        print(f"stage artifacts: {artifacts.describe()}")
+    if arguments.trace is not None:
+        events = session.events()
+        write_event_log(arguments.trace, events)
+        print(f"trace: wrote {len(events)} events to {arguments.trace} "
+              f"(inspect with: python -m repro.dse trace {arguments.trace})")
+    print("next: python -m repro.dse report"
+          + (f" --results {arguments.results}" if arguments.results != DEFAULT_RESULTS else ""))
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    spec, scenarios, axes = _sweep_grid(arguments)
     cache = ResultCache(arguments.results)
     artifacts = _artifact_store(arguments)
     session = ObsSession.enabled() if arguments.trace is not None else NULL_SESSION
@@ -132,16 +158,83 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     for record in result.failed():
         print(f"  FAILED {record.scenario} [{record.config_label}]: "
               f"{record.status}: {record.error}")
-    print(f"results: {cache.describe()}")
-    if artifacts is not None:
-        print(f"stage artifacts: {artifacts.describe()}")
-    if arguments.trace is not None:
-        events = session.events()
-        write_event_log(arguments.trace, events)
-        print(f"trace: wrote {len(events)} events to {arguments.trace} "
-              f"(inspect with: python -m repro.dse trace {arguments.trace})")
-    print("next: python -m repro.dse report"
-          + (f" --results {arguments.results}" if arguments.results != DEFAULT_RESULTS else ""))
+    _finish_sweep_output(arguments, cache, artifacts, session)
+    return 0
+
+
+def _parse_ladder(specs: Sequence[str]):
+    """``--rung NAME[:field=value,...]`` specs into a RungSpec ladder.
+
+    ``budget_fraction`` and ``simulation_cap`` address the rung's own
+    knobs; every other field is an :class:`EvaluationSettings` override.
+    A final full-fidelity rung is appended automatically when the last
+    given rung still carries overrides.
+    """
+    from repro.dse.search import RungSpec, default_ladder
+
+    if not specs:
+        return default_ladder()
+    rungs = []
+    for spec in specs:
+        name, _, rest = spec.partition(":")
+        name = name.strip()
+        overrides: dict[str, object] = {}
+        kwargs: dict[str, object] = {}
+        for item in rest.split(",") if rest else []:
+            if not item:
+                continue
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"bad --rung {spec!r}: expected NAME[:field=value,...]"
+                )
+            field, _, value = item.partition("=")
+            field = field.strip()
+            coerced = _coerce(value)
+            if field in ("budget_fraction", "simulation_cap"):
+                kwargs[field] = coerced
+            else:
+                overrides[field] = coerced
+        rungs.append(RungSpec(name, overrides=overrides, **kwargs))  # type: ignore[arg-type]
+    if not rungs[-1].full_fidelity:
+        rungs.append(RungSpec("full"))
+    return tuple(rungs)
+
+
+def _cmd_search(arguments: argparse.Namespace) -> int:
+    from repro.dse.search import SearchConfig, run_search
+
+    spec, scenarios, axes = _sweep_grid(arguments)
+    config = SearchConfig(
+        ladder=_parse_ladder(arguments.rung),
+        margin=arguments.margin,
+        seed=arguments.seed,
+        max_promotions=arguments.max_promotions,
+    )
+    cache = ResultCache(arguments.results)
+    artifacts = _artifact_store(arguments)
+    session = ObsSession.enabled() if arguments.trace is not None else NULL_SESSION
+    with use_session(session):
+        result = run_search(
+            scenarios,
+            base=spec.base_settings,
+            axes=axes,
+            config=config,
+            cache=cache,
+            parallel=arguments.parallel,
+            max_workers=arguments.workers,
+            artifacts=artifacts,
+        )
+    print(f"suite {spec.name!r}: {len(scenarios)} scenarios x grid {axes}")
+    print(result.describe())
+    front = result.front_records()
+    print(f"Pareto front ({len(front)} full-fidelity cell(s)):")
+    for record in front:
+        print(f"  * {record.scenario} {record.architecture} [{record.config_label}]")
+    for record in result.failed():
+        print(f"  FAILED {record.scenario} [{record.config_label}] "
+              f"at rung {record.search.get('rung', '?')}: "
+              f"{record.status}: {record.error}")
+    _finish_sweep_output(arguments, cache, artifacts, session)
     return 0
 
 
@@ -311,6 +404,53 @@ def build_parser() -> argparse.ArgumentParser:
         "cells differing only in simulator-stage axes share one decomposition "
         "through the stage-artifact store. See docs/dse.md for a worked example.",
     )
+    _add_sweep_options(run)
+    run.set_defaults(handler=_cmd_run)
+
+    search = commands.add_parser(
+        "search",
+        help="race the sweep grid up a fidelity ladder (guided search)",
+        description="Race a suite's grid up a fidelity ladder instead of "
+        "sweeping it exhaustively: every design point is screened at cheap "
+        "low rungs (truncated decomposition budgets, short simulation "
+        "windows, batch engine) and only points on — or within --margin of — "
+        "the incumbent Pareto front are promoted to full fidelity. "
+        "Promotions are deterministic (--seed) and every cached record "
+        "carries rung/promotion provenance for `report`. See docs/search.md.",
+    )
+    _add_sweep_options(search)
+    search.add_argument("--rung", action="append", default=[],
+                        metavar="NAME[:F=V,...]",
+                        help="define a ladder rung; repeatable, ordered "
+                             "cheap-to-full. Fields: budget_fraction (scales "
+                             "max_nodes_expanded), simulation_cap (clamps "
+                             "repetitions/aes_blocks), anything else is a "
+                             "settings override (e.g. engine=batch, "
+                             "decomposition_timeout_seconds=2). A bare final "
+                             "full-fidelity rung is appended if missing "
+                             "(default: the stock screen/confirm/full ladder)")
+    search.add_argument("--margin", type=float, default=0.10,
+                        help="dominance slack for promotion: prune a point "
+                             "only when a front member beats it by this "
+                             "relative factor in every objective; 0 promotes "
+                             "exactly the front (default: 0.10)")
+    search.add_argument("--seed", type=int, default=0,
+                        help="seed for the deterministic promotion tie-break "
+                             "(default: 0)")
+    search.add_argument("--max-promotions", dest="max_promotions", type=int,
+                        default=None, metavar="N",
+                        help="cap promotions per scenario per rung; front "
+                             "members and margin survivors compete for the "
+                             "slots in deterministic rank order (default: "
+                             "no cap)")
+    search.set_defaults(handler=_cmd_search)
+
+    _add_reporting_commands(commands)
+    return parser
+
+
+def _add_sweep_options(run: argparse.ArgumentParser) -> None:
+    """The grid/cache/parallel/trace options shared by run and search."""
     run.add_argument("--suite", default="smoke",
                      help="scenario suite name (see list-scenarios) or file:PATH "
                           "to sweep an imported workload graph (default: smoke)")
@@ -350,8 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record an observability event log (spans + metrics, "
                           "JSONL) of this sweep to FILE; inspect it with the "
                           "'trace' and 'stats' subcommands (default: tracing off)")
-    run.set_defaults(handler=_cmd_run)
 
+
+def _add_reporting_commands(commands) -> None:
+    """The report/trace/stats/listing/interchange subcommands."""
     report = commands.add_parser(
         "report",
         help="Pareto/baseline report from cached results",
@@ -466,7 +608,6 @@ def build_parser() -> argparse.ArgumentParser:
     exporter.add_argument("--format", default=None,
                           help="output format name (default: by file extension)")
     exporter.set_defaults(handler=_cmd_export_topology)
-    return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -64,25 +64,54 @@ def dominates(
     )
 
 
+def _dominates_values(left: Sequence[float], right: Sequence[float]) -> bool:
+    """Strict Pareto dominance on pre-negated minimization vectors."""
+    return all(a <= b for a, b in zip(left, right)) and any(
+        a < b for a, b in zip(left, right)
+    )
+
+
 def pareto_front(
     records: Sequence[EvaluationRecord],
     minimize: Sequence[str] = DEFAULT_MINIMIZE,
     maximize: Sequence[str] = DEFAULT_MAXIMIZE,
 ) -> list[EvaluationRecord]:
-    """The non-dominated subset of the successful records."""
-    candidates = [
-        record
-        for record in records
-        if record.succeeded and _objective_values(record, minimize, maximize) is not None
-    ]
-    return [
-        record
-        for record in candidates
-        if not any(
-            other is not record and dominates(other, record, minimize, maximize)
-            for other in candidates
-        )
-    ]
+    """The non-dominated subset of the successful records.
+
+    Sort-filter skyline rather than the all-pairs scan: candidates are
+    visited in lexicographic objective order, and a vector can only be
+    dominated by one that sorts before it (dominance implies all
+    coordinates <=, so the first differing coordinate is smaller).  Every
+    survivor therefore only needs checking against the running front —
+    O(n log n + n * |front| * d) instead of O(n^2 * d), which is what lets
+    the guided searcher re-derive incumbent fronts every rung for free.
+
+    Semantics are identical to the all-pairs definition: input order is
+    preserved, failed cells and cells missing an objective are excluded,
+    and records with *equal* objective vectors are all kept (equality is
+    not dominance).
+    """
+    candidates: list[tuple[EvaluationRecord, list[float]]] = []
+    for record in records:
+        if not record.succeeded:
+            continue
+        values = _objective_values(record, minimize, maximize)
+        if values is not None:
+            candidates.append((record, values))
+    visit_order = sorted(range(len(candidates)), key=lambda i: candidates[i][1])
+    accepted = [False] * len(candidates)
+    front_values: list[list[float]] = []
+    seen_values: set[tuple[float, ...]] = set()
+    for index in visit_order:
+        values = candidates[index][1]
+        if any(_dominates_values(front, values) for front in front_values):
+            continue
+        accepted[index] = True
+        key = tuple(values)
+        if key not in seen_values:  # tie groups share one front entry
+            seen_values.add(key)
+            front_values.append(values)
+    return [record for (record, _), keep in zip(candidates, accepted) if keep]
 
 
 #: axes that select a standard-fabric variant rather than an operating point
@@ -262,6 +291,7 @@ _REPORT_COLUMNS = (
     "status",
     "pareto",
     "trunc",
+    "rung",
     "deadlock_free",
     "vc_channels_needed",
     "cycles_per_iteration",
@@ -304,7 +334,7 @@ def pareto_report(
         rows = []
         for row, record in zip(normalize_to_mesh(scoped), scoped):
             row["pareto"] = "*" if id(record) in front else ""
-            if record.truncated_search:
+            if record.approximate:
                 row["trunc"] = "!"
             rows.append(row)
         columns = [
@@ -319,18 +349,52 @@ def pareto_report(
             else "custom does not dominate the mesh baseline"
         )
         section = f"{table}\n  -> {scenario}: {verdict}"
-        truncated = truncated_cells(scoped)
+        # only full-fidelity truncations warrant the grid-level caveat: a
+        # low-rung cell is truncated *by design* and gets its own caveat below
+        truncated = [
+            record for record in truncated_cells(scoped) if not record.low_fidelity
+        ]
         if truncated:
+            timed = [
+                record for record in truncated if not record.truncated_deterministic
+            ]
+            flavor = (
+                "results are machine-speed-dependent; "
+                "re-run with a larger decomposition_timeout_seconds"
+                if timed
+                else "deterministic node/leaf budgets: reproducible anywhere, "
+                "but the decomposition is approximate"
+            )
             in_front = [record for record in truncated if id(record) in front]
             caveat = (
                 f"  !  {len(truncated)} cell(s) hit the decomposition search "
-                "budget (marked '!'): results are machine-speed-dependent; "
-                "re-run with a larger decomposition_timeout_seconds"
+                f"budget (marked '!'): {flavor}"
             )
             if in_front:
                 caveat += (
                     f"\n  !  {len(in_front)} of them sit on the Pareto front — "
                     "treat this frontier as approximate"
+                )
+            section = f"{section}\n{caveat}"
+        low_fidelity = [record for record in scoped if record.low_fidelity]
+        if low_fidelity:
+            # a promoted cell's low-rung record has a full-fidelity sibling
+            # in the same table; only *pruned* front members lack one
+            in_front_low = [
+                record
+                for record in low_fidelity
+                if id(record) in front and record.search.get("pruned_at")
+            ]
+            caveat = (
+                f"  !  {len(low_fidelity)} cell(s) are low-fidelity search "
+                "rungs (marked '!'): measured under truncated budgets / short "
+                "simulation windows"
+            )
+            if in_front_low:
+                caveat += (
+                    f"\n  !  {len(in_front_low)} of them sit on the Pareto "
+                    "front without a completed promotion — promote them "
+                    "(python -m repro.dse search) before trusting this frontier"
                 )
             section = f"{section}\n{caveat}"
         sections.append(section)

@@ -430,6 +430,30 @@ class Scenario:
             return settings
         return settings.merged(self.settings_overrides)
 
+    def with_simulation_cap(self, cap: int) -> "Scenario":
+        """A copy whose simulation window is capped at ``cap`` iterations.
+
+        The short-window variant the guided searcher's low rungs evaluate:
+        ``repetitions`` and ``aes_blocks`` are clamped to ``cap`` while the
+        workload graph, traffic mode and per-iteration rates stay identical.
+        The traffic knobs are part of :meth:`fingerprint`, so the capped
+        variant keys separately in every cache — a short-window result can
+        never satisfy a full-window lookup.  Returns ``self`` unchanged when
+        the cap is not binding (identical content = identical cache key, by
+        design: the "low-fidelity" evaluation would be bit-identical).
+        """
+        if cap < 1:
+            raise ConfigurationError("simulation cap must be at least 1")
+        if self.repetitions <= cap and self.aes_blocks <= cap:
+            return self
+        return replace(
+            self,
+            repetitions=min(self.repetitions, cap),
+            aes_blocks=min(self.aes_blocks, cap),
+            params=dict(self.params),
+            settings_overrides=dict(self.settings_overrides),
+        )
+
     def fingerprint(self) -> dict[str, object]:
         """Content identity for cache keys: workload + traffic, not labels."""
         # the display name is deliberately absent: renaming a scenario must

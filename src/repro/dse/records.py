@@ -68,6 +68,13 @@ class EvaluationRecord:
     (``{"decompose": 1.8, "simulate": 0.2, ...}``); the triage companion of
     ``stage_reuse`` — a budget-truncated (``!``) cell shows *where* its time
     went.  Recorded for failed stages too (up to the failure point)."""
+    search: dict[str, object] = field(default_factory=dict)
+    """Guided-search provenance (``stage_reuse``-style), empty for plain grid
+    sweeps.  Keys written by :func:`repro.dse.search.run_search`:
+    ``rung`` (the fidelity-ladder rung this result was measured at),
+    ``rung_index``, ``full_fidelity`` (True only on the top rung),
+    ``promoted_from`` (previous rung name, when this cell was promoted) and
+    ``pruned_at`` (rung name, when the racer dropped the cell there)."""
     runtime_seconds: float = 0.0
     from_cache: bool = False
 
@@ -89,6 +96,32 @@ class EvaluationRecord:
         """
         return bool(self.search_statistics.get("truncated"))
 
+    @property
+    def truncated_deterministic(self) -> bool:
+        """True when the truncation came from a counter budget (nodes/leaves).
+
+        Counter-budget truncations reproduce bit-identically on any machine —
+        only wall-clock (``timeout``) truncations are machine-speed-dependent.
+        """
+        return self.search_statistics.get("truncated_by") in ("nodes", "leaves")
+
+    @property
+    def low_fidelity(self) -> bool:
+        """True for a guided-search record measured below the top rung.
+
+        Such a record's metrics came from truncated budgets and/or a short
+        simulation window; reports must flag it (``!``) rather than let it
+        pass for a full-fidelity grid result.
+        """
+        return bool(self.search) and not bool(self.search.get("full_fidelity", True))
+
+    @property
+    def approximate(self) -> bool:
+        """True when the metrics are not full-fidelity trustworthy as-is:
+        either the decomposition search was budget-truncated or the record
+        was measured on a low rung of a guided-search fidelity ladder."""
+        return self.truncated_search or self.low_fidelity
+
     def metric(self, key: str, default: float | None = None) -> float | None:
         """One metric as float, or ``default`` when absent."""
         value = self.metrics.get(key, default)
@@ -109,6 +142,11 @@ class EvaluationRecord:
             row["constraints_ok"] = self.constraints_satisfied
         if self.deadlock_free is not None:
             row["deadlock_free"] = self.deadlock_free
+        if self.search:
+            rung = str(self.search.get("rung", ""))
+            if self.search.get("pruned_at"):
+                rung = f"{rung} (pruned)"
+            row["rung"] = rung
         return row
 
     # ------------------------------------------------------------------

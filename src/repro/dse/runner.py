@@ -45,6 +45,7 @@ __all__ = [
     "axis_label",
     "expand_grid",
     "plan_sweep",
+    "run_cells",
     "run_sweep",
 ]
 
@@ -271,12 +272,36 @@ def run_sweep(
     artifacts on disk so stage reuse extends across runs (and across worker
     processes); without it, reuse is in-memory within this run only.
     """
+    return run_cells(
+        plan_sweep(scenarios, base, axes),
+        cache=cache,
+        parallel=parallel,
+        max_workers=max_workers,
+        artifacts=artifacts,
+    )
+
+
+def run_cells(
+    cells: Sequence[SweepCell],
+    *,
+    cache: ResultCache | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    artifacts: StageArtifactStore | str | Path | None = None,
+) -> SweepResult:
+    """Evaluate an explicit list of planned cells, reusing cached results.
+
+    The engine under both :func:`run_sweep` (which plans the full grid) and
+    the guided searcher (which plans rung-variant subsets of a grid): cache
+    resolution, duplicate-key sharing, stage-group fan-out and plan-order
+    record labeling all behave identically for any caller-supplied cell list.
+    """
     if artifacts is not None and not isinstance(artifacts, StageArtifactStore):
         artifacts = StageArtifactStore(artifacts)
     session = get_session()
     with session.tracer.span("dse.sweep") as sweep_span:
-        result = _run_sweep_traced(
-            scenarios, base, axes, cache, parallel, max_workers, artifacts, sweep_span
+        result = _run_cells_traced(
+            cells, cache, parallel, max_workers, artifacts, sweep_span
         )
         if session.tracer.enabled:
             sweep_span.annotate(
@@ -287,19 +312,16 @@ def run_sweep(
     return result
 
 
-def _run_sweep_traced(
-    scenarios: Sequence[Scenario],
-    base: EvaluationSettings | None,
-    axes: Mapping[str, Sequence[object]] | None,
+def _run_cells_traced(
+    cells: Sequence[SweepCell],
     cache: ResultCache | None,
     parallel: bool,
     max_workers: int | None,
     artifacts: StageArtifactStore | None,
     sweep_span,
 ) -> SweepResult:
-    """The body of :func:`run_sweep`, running inside its sweep span."""
+    """The body of :func:`run_cells`, running inside its sweep span."""
     session = get_session()
-    cells = plan_sweep(scenarios, base, axes)
     result = SweepResult()
     fresh: list[SweepCell] = []
     slots: dict[str, EvaluationRecord | None] = {}

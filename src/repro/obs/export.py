@@ -281,6 +281,45 @@ def render_trace_summary(events: Sequence[dict], top: int = 10) -> str:
     if stage_rows:
         sections.append(format_table(stage_rows, title="DSE stage wall breakdown"))
 
+    rung_spans = sorted(
+        (span for span in _spans(events) if span["name"] == "search.rung"),
+        key=lambda span: (
+            int((span.get("attributes") or {}).get("index", 0)),
+            float(span.get("start_s", 0.0) or 0.0),
+        ),
+    )
+    if rung_spans:
+        rung_rows = []
+        for span in rung_spans:
+            attributes = dict(span.get("attributes") or {})
+            rung_rows.append(
+                {
+                    "rung": attributes.get("rung", "?"),
+                    "cells": attributes.get("cells", ""),
+                    "evaluated": attributes.get("evaluated", ""),
+                    "promoted": attributes.get("promoted", "-"),
+                    "pruned": attributes.get("pruned", "-"),
+                    "total_s": float(span["duration_s"]),
+                }
+            )
+        sections.append(
+            format_table(rung_rows, title="guided search rungs (fidelity ladder)")
+        )
+        for span in _spans(events):
+            if span["name"] != "search.sweep":
+                continue
+            attributes = dict(span.get("attributes") or {})
+            saved = attributes.get("top_rung_saved")
+            grid = attributes.get("grid_cells")
+            evaluated = attributes.get("top_rung_evaluations")
+            if saved is not None and grid:
+                sections.append(
+                    f"guided search: {evaluated} of {grid} design points "
+                    f"reached the top rung ({saved} full-fidelity "
+                    "evaluation(s) saved)"
+                )
+            break
+
     metrics = _metrics(events)
     delivered = [
         event for event in metrics

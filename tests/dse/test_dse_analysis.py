@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, given, settings as hypothesis_settings
+from hypothesis import strategies as st
 
 from repro.dse.analysis import (
     custom_dominates_mesh,
@@ -311,3 +313,120 @@ class TestCommandLine:
 
     def test_unknown_suite_is_an_error(self, tmp_path, capsys):
         assert main(["run", "--suite", "bogus", "--results", str(tmp_path / "r.jsonl")]) == 2
+
+
+class TestSkylineEquivalence:
+    """The sort-based skyline must match the brute-force O(n^2) scan."""
+
+    @staticmethod
+    def _brute_force_front(records):
+        from repro.dse.analysis import (
+            DEFAULT_MAXIMIZE,
+            DEFAULT_MINIMIZE,
+            _objective_values,
+        )
+
+        candidates = []
+        for record in records:
+            if not record.succeeded:
+                continue
+            values = _objective_values(record, DEFAULT_MINIMIZE, DEFAULT_MAXIMIZE)
+            if values is not None:
+                candidates.append((record, values))
+        front = []
+        for record, values in candidates:
+            if not any(
+                all(o <= v for o, v in zip(other, values))
+                and any(o < v for o, v in zip(other, values))
+                for _, other in candidates
+            ):
+                front.append(record)
+        return front
+
+    def test_duplicates_and_ties_all_kept(self):
+        twin_a = _record("s", "a", latency=5, energy=1.0, throughput=60)
+        twin_b = _record("s", "b", latency=5, energy=1.0, throughput=60, key="twin-b")
+        dominated = _record("s", "c", latency=9, energy=2.0, throughput=40)
+        front = pareto_front([twin_a, dominated, twin_b])
+        assert front == [twin_a, twin_b]  # equality is not dominance
+        assert front == self._brute_force_front([twin_a, dominated, twin_b])
+
+    def test_input_order_preserved(self):
+        records = [
+            _record("s", "late", latency=4, energy=2.5, throughput=50),
+            _record("s", "early", latency=5, energy=1.0, throughput=60),
+            _record("s", "mid", latency=10, energy=2.0, throughput=45),
+        ]
+        front = pareto_front(records)
+        assert [record.architecture for record in front] == ["late", "early"]
+
+    @hypothesis_settings(
+        max_examples=200, suppress_health_check=[HealthCheck.too_slow], deadline=None
+    )
+    @given(
+        rows=st.lists(
+            st.tuples(
+                # a tiny value pool forces ties and duplicate vectors
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.sampled_from(["ok", "simulation_failed"]),
+                st.booleans(),  # drop the throughput metric entirely
+            ),
+            max_size=24,
+        )
+    )
+    def test_matches_brute_force_on_random_records(self, rows):
+        records = []
+        for index, (latency, energy, throughput, status, partial) in enumerate(rows):
+            record = _record(
+                "s", f"a{index}", latency, float(energy), throughput,
+                status=status, key=f"k{index}",
+            )
+            if partial:
+                del record.metrics["throughput_mbps"]
+            records.append(record)
+        front = pareto_front(records)
+        expected = self._brute_force_front(records)
+        assert [id(record) for record in front] == [id(record) for record in expected]
+
+
+class TestLowFidelityFlagging:
+    """Satellite regression: truncated low-rung cells never reach a
+    reported front silently — they carry '!' and an explicit caveat."""
+
+    def test_pruned_low_rung_front_member_gets_strong_caveat(self):
+        mesh = _record("s", "mesh", 10, 2.0, 40)
+        screened = _record("s", "custom", 5, 1.0, 60)
+        screened.search_statistics = {"truncated": True, "truncated_by": "nodes"}
+        screened.search = {"rung": "screen", "rung_index": 0,
+                           "full_fidelity": False, "pruned_at": "screen"}
+        assert screened.low_fidelity and screened.approximate
+        text = pareto_report([mesh, screened])
+        assert "rung" in text and "screen (pruned)" in text
+        assert "!" in text
+        assert "low-fidelity search rungs" in text
+        assert "without a completed promotion" in text
+        # by-design truncation does not raise the full-fidelity budget caveat
+        assert "hit the decomposition search budget" not in text
+
+    def test_promoted_low_rung_record_is_flagged_but_not_alarming(self):
+        mesh = _record("s", "mesh", 10, 2.0, 40)
+        screened = _record("s", "custom", 5, 1.0, 60, key="screen-variant")
+        screened.search = {"rung": "screen", "rung_index": 0, "full_fidelity": False}
+        full = _record("s", "custom", 5, 1.0, 60)
+        full.search = {"rung": "full", "rung_index": 1,
+                       "full_fidelity": True, "promoted_from": "screen"}
+        text = pareto_report([mesh, screened, full])
+        assert "low-fidelity search rungs" in text
+        # the promotion completed: the strong frontier warning must not fire
+        assert "without a completed promotion" not in text
+
+    def test_deterministic_truncation_wording(self):
+        mesh = _record("s", "mesh", 10, 2.0, 40)
+        winner = _record("s", "custom", 5, 1.0, 60)
+        winner.search_statistics = {"truncated": True, "truncated_by": "nodes"}
+        text = pareto_report([mesh, winner])
+        assert "deterministic node/leaf budgets" in text
+        assert "machine-speed-dependent" not in text
+        assert winner.truncated_deterministic
