@@ -6,6 +6,16 @@ sibling packages (:mod:`repro.energy`, :mod:`repro.arch`, :mod:`repro.routing`,
 :mod:`repro.noc`, :mod:`repro.floorplan`).
 """
 
+from repro.core.bounds import (
+    BOUND_NAMES,
+    CheapestEdgeBound,
+    CostModelBound,
+    ExactSmallBound,
+    PackingBound,
+    ResidualBound,
+    StackedBound,
+    build_lower_bound,
+)
 from repro.core.cost import (
     CostModel,
     EnergyCostModel,
@@ -83,6 +93,14 @@ __all__ = [
     "LinkCountCostModel",
     "EnergyCostModel",
     "default_cost_model",
+    "BOUND_NAMES",
+    "ResidualBound",
+    "CostModelBound",
+    "CheapestEdgeBound",
+    "PackingBound",
+    "ExactSmallBound",
+    "StackedBound",
+    "build_lower_bound",
     "DecompositionConfig",
     "DecompositionResult",
     "SearchStrategy",

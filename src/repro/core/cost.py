@@ -89,8 +89,41 @@ class CostModel(ABC):
         )
 
     # ------------------------------------------------------------------
-    # bounding
+    # bounding (see repro.core.bounds for the composable bound family)
     # ------------------------------------------------------------------
+    def edge_cover_cost(self, acg: ApplicationGraph, edge: Edge, hops: int) -> float:
+        """Admissible charge for covering ``edge`` at a position with ``hops``
+        internal hops.
+
+        The default ignores ``hops`` and charges the direct single-hop route
+        — never more than any realizable implementation of the edge (for the
+        energy model because the direct Manhattan wire is the shortest
+        possible, for hop-count models because every route has at least one
+        hop).  Models whose route cost is exactly linear in the hop count
+        override this to exploit ``hops``.
+        """
+        del hops
+        return self.route_cost(acg, edge, edge)
+
+    def edge_remainder_cost(self, acg: ApplicationGraph, edge: Edge) -> float:
+        """Exact cost contribution of leaving ``edge`` in the remainder."""
+        return self.remainder_penalty * self.route_cost(acg, edge, edge)
+
+    def flat_matching_cost(self, primitive) -> float | None:
+        """Binding-independent total matching cost, or ``None``.
+
+        Flat models (e.g. link count) charge a matching the same amount
+        wherever it lands, which lets the bound subsystem precompute exact
+        per-edge shares and packing prices once per (library, cost-model)
+        pair.  Additive models return ``None``.
+        """
+        del primitive
+        return None
+
+    def flat_remainder_edge_cost(self) -> float | None:
+        """Binding-independent per-edge remainder cost, or ``None``."""
+        return None
+
     def lower_bound(self, residual: DiGraph, acg: ApplicationGraph) -> float:
         """Admissible lower bound on the cost of decomposing ``residual``.
 
@@ -125,6 +158,11 @@ class UnitCostModel(CostModel):
         if not self.use_volumes:
             volume = 1.0
         return volume * hops
+
+    def edge_cover_cost(self, acg: ApplicationGraph, edge: Edge, hops: int) -> float:
+        """Exact ``volume * hops`` charge of covering ``edge`` at a position."""
+        volume = acg.volume(*edge) if (self.use_volumes and acg.has_edge(*edge)) else 1.0
+        return volume * max(hops, 1)
 
 
 @dataclass
@@ -172,8 +210,24 @@ class LinkCountCostModel(CostModel):
         graph = remainder.graph if isinstance(remainder, RemainderGraph) else remainder
         return self.remainder_penalty * graph.num_edges
 
+    def flat_matching_cost(self, primitive) -> float:
+        """Physical link count: the same wherever the matching lands."""
+        return float(primitive.num_physical_links)
+
+    def flat_remainder_edge_cost(self) -> float:
+        """One dedicated link per remainder edge (times the penalty)."""
+        return self.remainder_penalty * 1.0
+
     def lower_bound(self, residual: DiGraph, acg: ApplicationGraph) -> float:
-        """Admissible lower bound on the links still needed for the residual."""
+        """Coarse per-edge link bound (the legacy ``"cost_model"`` bound).
+
+        .. note:: ``min_links_per_edge`` hard-codes the default library's
+           best ratio (MGG-4: 4 links / 12 requirement edges); libraries
+           with a denser primitive (e.g. ``extended_library``'s MGG-8 at
+           12/56) need the computed per-library offers of
+           :mod:`repro.core.bounds` for an admissible per-edge charge —
+           another reason ``lower_bound="cheapest_edge"`` supersedes this.
+        """
         del acg
         total = 0.0
         for source, target in residual.edges():

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.core.bounds import ResidualBound, build_lower_bound
 from repro.core.cost import CostModel, default_cost_model
 from repro.core.graph import ApplicationGraph, DiGraph, Edge
 from repro.core.isomorphism import MatcherOptions, VF2Matcher
@@ -81,6 +82,20 @@ class DecompositionConfig:
     total work on large graphs whose decomposition tree is too big to search
     exhaustively (the best decomposition found so far is returned)."""
     use_lower_bound: bool = True
+    lower_bound: str = "stacked"
+    """Which admissible residual bound prunes branches (see
+    :mod:`repro.core.bounds`): ``"cost_model"`` (the legacy coarse per-edge
+    charge), ``"cheapest_edge"`` (per-edge cheapest feasible cover offer),
+    ``"packing"`` (node-side slot packing, flat cost models), ``"exact_small"``
+    (memoized exact solve of small residuals) or ``"stacked"`` (the max of
+    the latter three, evaluated lazily).  Ignored when ``use_lower_bound``
+    is False.  Pruning is exact under every admissible choice — the knob
+    trades bound computation against nodes expanded, never solution
+    quality."""
+    exact_small_max_edges: int = 10
+    """Residuals at or below this many edges are solved outright (and
+    memoized) by the ``exact_small`` bound; ``0`` disables the exact solver
+    within ``stacked``."""
     use_matching_cache: bool = True
     """Inherit a parent residual's matchings into its children instead of
     re-running VF2: a child residual differs from its parent only by the
@@ -118,6 +133,22 @@ class SearchStatistics:
     This is the true measure of VF2 enumeration work."""
     leaves_evaluated: int = 0
     branches_pruned: int = 0
+    """Branches abandoned because an admissible bound proved they cannot
+    beat the incumbent.  Transposition skips are *not* counted here (see
+    ``transposition_hits``); ``branches_pruned_by`` attributes every pruned
+    subtree — bound prunes *and* transposition skips — to its source."""
+    branches_pruned_by: dict[str, int] = field(default_factory=dict)
+    """Pruned-subtree provenance: which bound fired (``"cheapest_edge"``,
+    ``"packing"``, ``"exact_small"``, ``"cost_model"``) or
+    ``"transposition"`` for dominance skips, mapped to how many subtrees it
+    removed."""
+    bound_cache_hits: int = 0
+    """Residual bound values served from the fingerprint-keyed bound cache."""
+    bound_cache_misses: int = 0
+    """Residual bound values that had to be computed."""
+    exact_residuals_solved: int = 0
+    """Distinct residual edge sets the ``exact_small`` bound solved outright
+    (memo misses of the exact mini branch-and-bound)."""
     matching_cache_hits: int = 0
     """Primitive candidate lists inherited from the parent residual."""
     matching_cache_misses: int = 0
@@ -134,7 +165,7 @@ class SearchStatistics:
     Fidelity ladders key off this: a ``"nodes"``-truncated rung reproduces
     bit-identically everywhere, a ``"timeout"``-truncated one may not."""
 
-    def as_dict(self) -> dict[str, float | int | bool | str | None]:
+    def as_dict(self) -> dict[str, float | int | bool | str | dict[str, int] | None]:
         """Plain-dict view of all counters (what evaluation records store)."""
         return {
             "nodes_expanded": self.nodes_expanded,
@@ -142,6 +173,10 @@ class SearchStatistics:
             "matchings_enumerated": self.matchings_enumerated,
             "leaves_evaluated": self.leaves_evaluated,
             "branches_pruned": self.branches_pruned,
+            "branches_pruned_by": dict(sorted(self.branches_pruned_by.items())),
+            "bound_cache_hits": self.bound_cache_hits,
+            "bound_cache_misses": self.bound_cache_misses,
+            "exact_residuals_solved": self.exact_residuals_solved,
             "matching_cache_hits": self.matching_cache_hits,
             "matching_cache_misses": self.matching_cache_misses,
             "transposition_hits": self.transposition_hits,
@@ -457,6 +492,16 @@ class BranchAndBoundDecomposer(Decomposer):
         best: dict[str, object] = {"cost": float("inf"), "matchings": None, "residual": None}
         use_cache = self.config.use_matching_cache
         use_table = self.config.use_transposition_table
+        bound: ResidualBound | None = None
+        if self.config.use_lower_bound:
+            bound = build_lower_bound(
+                self.config.lower_bound,
+                self.library,
+                cost_model,
+                acg,
+                exact_small_max_edges=self.config.exact_small_max_edges,
+                statistics=statistics,
+            )
         search_order = self.library.sorted_for_search()
         # signature -> [(exact edge set, [(partial_cost, min_key), ...])];
         # the exact edge set disambiguates fingerprint collisions, and each
@@ -587,6 +632,9 @@ class BranchAndBoundDecomposer(Decomposer):
             for stored_cost, stored_key in entries:
                 if partial_cost >= stored_cost - 1e-9 and min_key >= stored_key:
                     statistics.transposition_hits += 1
+                    statistics.branches_pruned_by["transposition"] = (
+                        statistics.branches_pruned_by.get("transposition", 0) + 1
+                    )
                     return True
             entries[:] = [
                 (cost, key)
@@ -638,10 +686,15 @@ class BranchAndBoundDecomposer(Decomposer):
                 match_cost = cost_model.matching_cost(matching, acg)
                 next_residual = matching.subtract_from(current)
                 next_cost = partial_cost + match_cost
-                if self.config.use_lower_bound:
-                    bound = next_cost + cost_model.lower_bound(next_residual, acg)
-                    if bound >= best["cost"]:
+                if bound is not None:
+                    # prune when next_cost + bound(residual) >= incumbent;
+                    # the reason names the (sub-)bound that proved it
+                    fired = bound.prune_reason(next_residual, best["cost"] - next_cost)
+                    if fired is not None:
                         statistics.branches_pruned += 1
+                        statistics.branches_pruned_by[fired] = (
+                            statistics.branches_pruned_by.get(fired, 0) + 1
+                        )
                         continue
                 child_inherited: dict[int, tuple[list[Matching], bool]] | None = None
                 if use_cache:
@@ -685,6 +738,11 @@ class BranchAndBoundDecomposer(Decomposer):
             fallback.statistics.nodes_expanded += statistics.nodes_expanded
             fallback.statistics.matchings_tried += statistics.matchings_tried
             fallback.statistics.matchings_enumerated += statistics.matchings_enumerated
+            fallback.statistics.branches_pruned += statistics.branches_pruned
+            fallback.statistics.branches_pruned_by = dict(statistics.branches_pruned_by)
+            fallback.statistics.bound_cache_hits += statistics.bound_cache_hits
+            fallback.statistics.bound_cache_misses += statistics.bound_cache_misses
+            fallback.statistics.exact_residuals_solved += statistics.exact_residuals_solved
             fallback.statistics.matching_cache_hits += statistics.matching_cache_hits
             fallback.statistics.matching_cache_misses += statistics.matching_cache_misses
             fallback.statistics.transposition_hits += statistics.transposition_hits
@@ -732,6 +790,10 @@ def decompose(
                 vf2_cached_matchings=statistics.matching_cache_hits,
                 transposition_hits=statistics.transposition_hits,
                 branches_pruned=statistics.branches_pruned,
+                branches_pruned_by=dict(sorted(statistics.branches_pruned_by.items())),
+                bound_cache_hits=statistics.bound_cache_hits,
+                bound_cache_misses=statistics.bound_cache_misses,
+                exact_residuals_solved=statistics.exact_residuals_solved,
                 truncated=statistics.truncated,
                 truncated_by=statistics.truncated_by,
             )

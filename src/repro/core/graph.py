@@ -237,6 +237,21 @@ class DiGraph:
         """
         return (self._num_edges, self._edge_fingerprint)
 
+    def structural_fingerprint(self) -> frozenset[Edge]:
+        """Exact, order-independent, hashable identity of the edge set.
+
+        Unlike :meth:`edge_signature` this cannot collide: two graphs have
+        equal fingerprints exactly when their edge sets are equal (isolated
+        nodes are ignored).  It is the memoization key of the decomposition
+        bound caches and the exact-small-residual solver, where a collision
+        would silently reuse a bound computed for a different residual.
+        Costs O(edges) to build, so prefer :meth:`edge_signature` where a
+        confirmable hint suffices.
+        """
+        return frozenset(
+            (source, target) for source, targets in self._succ.items() for target in targets
+        )
+
     # ------------------------------------------------------------------
     # adjacency / degrees
     # ------------------------------------------------------------------

@@ -75,8 +75,13 @@ from repro.exceptions import ReproError
 #: version 4: pluggable fabric layer — settings grew the ``topology`` /
 #: ``routing_policy`` / ``require_deadlock_free`` knobs, baseline cells are
 #: table-routed through the policy registry, and every routed cell records
-#: the CDG gate's ``deadlock_free`` / ``vc_channels_needed`` provenance)
-PIPELINE_VERSION = 4
+#: the CDG gate's ``deadlock_free`` / ``vc_channels_needed`` provenance;
+#: version 5: exact residual lower bounds — settings grew the
+#: ``lower_bound`` knob (part of the decomposition stage sub-key), search
+#: statistics carry ``branches_pruned_by`` provenance and bound-cache
+#: counters, and truncated searches expand a different tree under the
+#: tighter default bound)
+PIPELINE_VERSION = 5
 
 #: bump when the decomposition artifact serialization changes shape
 DECOMPOSITION_ARTIFACT_FORMAT = 1

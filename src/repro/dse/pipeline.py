@@ -42,6 +42,7 @@ from repro.aes.distributed import DistributedAES
 from repro.arch.families import get_family, pad_node_ids
 from repro.arch.mesh import MeshTopology
 from repro.arch.topology import Topology
+from repro.core.bounds import BOUND_NAMES
 from repro.core.cost import LinkCountCostModel
 from repro.core.decomposition import (
     DecompositionConfig,
@@ -207,6 +208,13 @@ class EvaluationSettings:
     isomorphism_timeout_seconds: float | None = 2.0
     decomposition_timeout_seconds: float | None = 20.0
     max_nodes_expanded: int | None = 400
+    lower_bound: str = "stacked"
+    """Which admissible residual bound prunes the branch-and-bound (see
+    :mod:`repro.core.bounds`): ``"cost_model"``, ``"cheapest_edge"``,
+    ``"packing"``, ``"exact_small"`` or ``"stacked"``.  Part of the
+    decomposition stage sub-key: cached artifacts never mix bound
+    configurations (truncated searches expand different trees under
+    different bounds)."""
 
     # -- synthesis -------------------------------------------------------
     flit_width_bits: int = 32
@@ -253,6 +261,10 @@ class EvaluationSettings:
             raise ConfigurationError(
                 f"unknown simulator engine {self.engine!r} (use one of {ENGINES})"
             )
+        if self.lower_bound not in BOUND_NAMES:
+            raise ConfigurationError(
+                f"unknown lower bound {self.lower_bound!r} (use one of {BOUND_NAMES})"
+            )
 
     def as_dict(self) -> dict[str, object]:
         """All fields as a plain JSON-serializable dict."""
@@ -272,6 +284,7 @@ class EvaluationSettings:
         "isomorphism_timeout_seconds",
         "decomposition_timeout_seconds",
         "max_nodes_expanded",
+        "lower_bound",
         "bidirectional_links",
         "fill_all_pairs_routing",
     )
@@ -366,6 +379,7 @@ class EvaluationSettings:
             isomorphism_timeout_seconds=self.isomorphism_timeout_seconds,
             total_timeout_seconds=self.decomposition_timeout_seconds,
             max_nodes_expanded=self.max_nodes_expanded,
+            lower_bound=self.lower_bound,
         )
 
     def build_library(self) -> CommunicationLibrary:

@@ -320,6 +320,42 @@ def render_trace_summary(events: Sequence[dict], top: int = 10) -> str:
                 )
             break
 
+    decompose_spans = [
+        span for span in _spans(events) if span["name"] == "search.decompose"
+    ]
+    if decompose_spans:
+        pruned_by: dict[str, int] = {}
+        nodes_expanded = 0
+        bound_hits = 0
+        bound_misses = 0
+        for span in decompose_spans:
+            attributes = dict(span.get("attributes") or {})
+            nodes_expanded += int(attributes.get("nodes_expanded", 0) or 0)
+            bound_hits += int(attributes.get("bound_cache_hits", 0) or 0)
+            bound_misses += int(attributes.get("bound_cache_misses", 0) or 0)
+            for reason, count in (attributes.get("branches_pruned_by") or {}).items():
+                pruned_by[reason] = pruned_by.get(reason, 0) + int(count)
+        if pruned_by:
+            total_pruned = sum(pruned_by.values())
+            rows = [
+                {
+                    "pruned by": reason,
+                    "subtrees": count,
+                    "share": f"{100.0 * count / total_pruned:.0f}%",
+                }
+                for reason, count in sorted(pruned_by.items(), key=lambda kv: -kv[1])
+            ]
+            sections.append(
+                format_table(
+                    rows,
+                    title=(
+                        f"decomposition prune provenance ({len(decompose_spans)} "
+                        f"search(es), {nodes_expanded} nodes expanded, bound cache "
+                        f"{bound_hits}/{bound_hits + bound_misses} hits)"
+                    ),
+                )
+            )
+
     metrics = _metrics(events)
     delivered = [
         event for event in metrics

@@ -1,0 +1,280 @@
+"""Unit tests for the residual lower-bound family (``repro.core.bounds``).
+
+The admissibility *property* (every bound below the brute-force optimum)
+lives in ``tests/property/test_bound_admissibility.py``; here we pin the
+mechanics: offer tables, dual packing prices, the exact-small solver and
+its memo, the per-search bound cache counters, and the factory surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    BOUND_NAMES,
+    STACKED_PARTS,
+    CheapestEdgeBound,
+    CostModelBound,
+    CoverOffer,
+    ExactSmallBound,
+    PackingBound,
+    StackedBound,
+    bound_tables,
+    build_lower_bound,
+)
+from repro.core.cost import LinkCountCostModel, UnitCostModel
+from repro.core.decomposition import DecompositionConfig, SearchStatistics, decompose
+from repro.core.graph import ApplicationGraph, DiGraph
+from repro.core.library import default_library, extended_library
+from repro.exceptions import DecompositionError
+
+LINK = LinkCountCostModel()
+UNIT = UnitCostModel()
+
+
+def acg_from_edges(edges, name="unit") -> ApplicationGraph:
+    acg = ApplicationGraph(name=name)
+    for index, (source, target) in enumerate(edges):
+        acg.add_communication(source, target, volume=float(8 * (index + 1)))
+    return acg
+
+
+def star_acg(leaves: int) -> ApplicationGraph:
+    """A broadcast hub: node 0 sends to every leaf."""
+    return acg_from_edges([(0, leaf) for leaf in range(1, leaves + 1)], name="star")
+
+
+class TestStructuralFingerprint:
+    def test_order_independent_and_exact(self):
+        forward = DiGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        shuffled = DiGraph.from_edges([(3, 1), (1, 2), (2, 3)])
+        assert forward.structural_fingerprint() == shuffled.structural_fingerprint()
+        other = DiGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        assert forward.structural_fingerprint() != other.structural_fingerprint()
+
+    def test_isolated_nodes_do_not_enter_the_fingerprint(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        with_isolate = DiGraph.from_edges([(1, 2)])
+        with_isolate.add_node(99)
+        assert graph.structural_fingerprint() == with_isolate.structural_fingerprint()
+
+
+class TestBoundTables:
+    def test_flat_model_yields_offers_and_prices(self):
+        tables = bound_tables(default_library(), LINK)
+        assert tables.flat
+        assert tables.offers
+        assert tables.out_prices and tables.in_prices
+        # link count distributes the matching cost evenly over rep edges
+        assert all(offer.flat_share is not None for offer in tables.offers)
+        # the library's full-duplex primitives contribute paired offers
+        assert any(offer.paired for offer in tables.offers)
+
+    def test_additive_model_has_no_packing_prices(self):
+        tables = bound_tables(default_library(), UNIT)
+        assert not tables.flat
+        assert tables.offers
+        assert tables.out_prices == () and tables.in_prices == ()
+        assert all(offer.flat_share is None for offer in tables.offers)
+
+    def test_tables_are_memoized_per_library_and_cost_model(self):
+        library = default_library()
+        assert bound_tables(library, LINK) is bound_tables(library, LinkCountCostModel())
+        assert bound_tables(library, LINK) is not bound_tables(library, UNIT)
+        assert bound_tables(library, LINK) is not bound_tables(default_library(), LINK)
+
+    def test_dual_prices_are_feasible_against_every_offer(self):
+        tables = bound_tables(extended_library(), LINK)
+        remainder = LINK.flat_remainder_edge_cost()
+        for prices in (tables.out_prices, tables.in_prices):
+            for y_bi, y_uni in prices:
+                assert y_bi >= 0 and y_uni >= 0
+                # the remainder link is always an offer: one flexible slot
+                assert max(y_bi, y_uni) <= remainder + 1e-9
+
+
+class TestCoverOffer:
+    OFFER = CoverOffer(
+        primitive_name="p",
+        paired=True,
+        source_out=2,
+        source_in=0,
+        source_bi=1,
+        target_out=1,
+        target_in=1,
+        target_bi=1,
+        hops=1,
+        flat_share=1.0,
+    )
+
+    def test_paired_offer_rejects_unidirectional_edges(self):
+        assert not self.OFFER.feasible(False, (9, 9, 9), (9, 9, 9))
+        assert self.OFFER.feasible(True, (9, 9, 9), (9, 9, 9))
+
+    def test_endpoint_degree_requirements_gate_feasibility(self):
+        assert self.OFFER.feasible(True, (2, 0, 1), (1, 1, 1))
+        assert not self.OFFER.feasible(True, (1, 0, 1), (1, 1, 1))  # source out
+        assert not self.OFFER.feasible(True, (2, 0, 0), (1, 1, 1))  # source bi
+        assert not self.OFFER.feasible(True, (2, 0, 1), (1, 0, 1))  # target in
+
+
+class TestCheapestEdgeBound:
+    def test_single_edge_never_beats_the_remainder_charge(self):
+        acg = acg_from_edges([(1, 2)])
+        bound = CheapestEdgeBound(bound_tables(default_library(), LINK), LINK, acg)
+        value = bound.value(acg)
+        assert 0 < value <= LINK.edge_remainder_cost(acg, (1, 2)) + 1e-9
+
+    def test_empty_residual_is_free(self):
+        acg = acg_from_edges([(1, 2)])
+        bound = CheapestEdgeBound(bound_tables(default_library(), LINK), LINK, acg)
+        assert bound.value(acg.graph_difference(acg)) == 0.0
+
+
+class TestPackingBound:
+    def test_abstains_for_additive_cost_models(self):
+        acg = star_acg(6)
+        assert PackingBound(bound_tables(default_library(), UNIT)).value(acg) == 0.0
+
+    def test_positive_on_any_nonempty_flat_residual(self):
+        acg = star_acg(6)
+        assert PackingBound(bound_tables(default_library(), LINK)).value(acg) > 0.0
+
+    def test_hub_demand_scales_with_out_degree(self):
+        tables = bound_tables(default_library(), LINK)
+        narrow = PackingBound(tables).value(star_acg(3))
+        wide = PackingBound(tables).value(star_acg(9))
+        assert wide > narrow
+
+
+class TestExactSmallBound:
+    def exhaustive_cost(self, acg, library, cost_model) -> float:
+        config = DecompositionConfig(
+            max_matchings_per_primitive=None,
+            isomorphism_timeout_seconds=None,
+            total_timeout_seconds=None,
+            max_leaves=None,
+            use_lower_bound=False,
+        )
+        return decompose(acg, library, cost_model, config).total_cost
+
+    def test_matches_the_exhaustive_optimum_within_threshold(self):
+        library = default_library()
+        acg = acg_from_edges([(1, 2), (2, 1), (2, 3), (3, 2), (1, 4)])
+        bound = ExactSmallBound(library, LINK, acg, max_edges=8)
+        assert bound.value(acg) == pytest.approx(self.exhaustive_cost(acg, library, LINK))
+
+    def test_abstains_above_the_edge_threshold(self):
+        acg = star_acg(5)
+        bound = ExactSmallBound(default_library(), LINK, acg, max_edges=2)
+        assert bound.value(acg) == 0.0
+
+    def test_memo_counts_hits_and_solves(self):
+        statistics = SearchStatistics()
+        acg = acg_from_edges([(1, 2), (2, 1), (2, 3)])
+        bound = ExactSmallBound(default_library(), LINK, acg, 8, statistics=statistics)
+        first = bound.value(acg)
+        solved_once = statistics.exact_residuals_solved
+        assert solved_once >= 1
+        hits_before = statistics.bound_cache_hits
+        assert bound.value(acg) == first
+        assert statistics.bound_cache_hits == hits_before + 1
+        assert statistics.exact_residuals_solved == solved_once
+
+
+class TestStackedBound:
+    def build(self, acg):
+        return build_lower_bound("stacked", default_library(), LINK, acg)
+
+    def test_parts_follow_the_documented_lazy_order(self):
+        stacked = self.build(star_acg(4))
+        assert isinstance(stacked, StackedBound)
+        assert tuple(part.name for part in stacked.parts) == STACKED_PARTS
+
+    def test_value_is_the_max_of_the_parts(self):
+        acg = acg_from_edges([(1, 2), (2, 1), (1, 3), (3, 4)])
+        stacked = self.build(acg)
+        assert stacked.value(acg) == max(part.value(acg) for part in stacked.parts)
+
+    def test_prune_reason_names_the_firing_part(self):
+        acg = acg_from_edges([(1, 2), (2, 1), (1, 3), (3, 4)])
+        stacked = self.build(acg)
+        value = stacked.value(acg)
+        assert value > 0
+        reason = stacked.prune_reason(acg, value)
+        assert reason in STACKED_PARTS
+        assert stacked.prune_reason(acg, value + 1.0) is None
+
+    def test_infinite_target_never_prunes(self):
+        acg = acg_from_edges([(1, 2)])
+        stacked = self.build(acg)
+        assert stacked.prune_reason(acg, float("inf")) is None
+
+
+class TestBuildLowerBound:
+    def test_unknown_name_raises(self):
+        acg = acg_from_edges([(1, 2)])
+        with pytest.raises(DecompositionError, match="unknown lower bound"):
+            build_lower_bound("nope", default_library(), LINK, acg)
+
+    @pytest.mark.parametrize(
+        "name, kind",
+        [
+            ("cost_model", CostModelBound),
+            ("cheapest_edge", CheapestEdgeBound),
+            ("packing", PackingBound),
+            ("exact_small", ExactSmallBound),
+            ("stacked", StackedBound),
+        ],
+    )
+    def test_every_name_builds_its_kind(self, name, kind):
+        assert name in BOUND_NAMES
+        bound = build_lower_bound(name, default_library(), LINK, acg_from_edges([(1, 2)]))
+        assert isinstance(bound, kind)
+
+    def test_exact_small_threshold_is_forwarded(self):
+        bound = build_lower_bound(
+            "exact_small", default_library(), LINK, acg_from_edges([(1, 2)]),
+            exact_small_max_edges=3,
+        )
+        assert bound.max_edges == 3
+
+
+class TestSearchIntegration:
+    CONFIG = dict(
+        isomorphism_timeout_seconds=None,
+        total_timeout_seconds=None,
+        max_leaves=None,
+    )
+
+    def test_search_records_bound_cache_and_provenance(self):
+        acg = acg_from_edges(
+            [(1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3), (1, 4), (4, 1), (1, 3)],
+            name="ring",
+        )
+        config = DecompositionConfig(
+            max_matchings_per_primitive=3, lower_bound="stacked", **self.CONFIG
+        )
+        statistics = decompose(acg, default_library(), LINK, config).statistics
+        assert statistics.branches_pruned > 0
+        pruned_by_bounds = {
+            reason: count
+            for reason, count in statistics.branches_pruned_by.items()
+            if reason != "transposition"
+        }
+        assert sum(pruned_by_bounds.values()) == statistics.branches_pruned
+        assert set(pruned_by_bounds) <= set(STACKED_PARTS)
+        assert statistics.bound_cache_misses > 0
+        as_dict = statistics.as_dict()
+        assert as_dict["branches_pruned_by"] == statistics.branches_pruned_by
+        assert as_dict["bound_cache_hits"] == statistics.bound_cache_hits
+
+    def test_disabling_the_bound_short_circuits(self):
+        acg = acg_from_edges([(1, 2), (2, 1), (2, 3)])
+        config = DecompositionConfig(
+            max_matchings_per_primitive=3, use_lower_bound=False, **self.CONFIG
+        )
+        statistics = decompose(acg, default_library(), LINK, config).statistics
+        assert statistics.bound_cache_hits == 0
+        assert statistics.bound_cache_misses == 0
+        assert set(statistics.branches_pruned_by) <= {"transposition"}

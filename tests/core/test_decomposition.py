@@ -301,11 +301,16 @@ class TestSearchAccelerations:
         return acg
 
     def test_transposition_hits_on_commuting_overlaps(self, library):
+        # pinned to the legacy coarse bound: the stacked bound prunes these
+        # commuting interleavings before they ever reach the table
         acg = self._revisiting_acg()
-        config = quick_config(max_matchings_per_primitive=3)
+        config = quick_config(max_matchings_per_primitive=3, lower_bound="cost_model")
         result = decompose(acg, library, cost_model=LinkCountCostModel(), config=config)
         result.validate_cover()
         assert result.statistics.transposition_hits > 0
+        assert result.statistics.branches_pruned_by["transposition"] == (
+            result.statistics.transposition_hits
+        )
 
         # ... and disabling the table reproduces the same cost.
         baseline = decompose(

@@ -48,6 +48,8 @@ class TestEvaluationSettings:
             EvaluationSettings(strategy="simulated_annealing")
         with pytest.raises(ConfigurationError):
             EvaluationSettings(library="imaginary")
+        with pytest.raises(ConfigurationError):
+            EvaluationSettings(lower_bound="tightest")
 
     def test_canonical_dict_normalizes_irrelevant_axes(self):
         mesh_a = EvaluationSettings(architecture="mesh", library="aes")

@@ -56,6 +56,7 @@ _DECOMPOSITION_VARIANTS = {
     "isomorphism_timeout_seconds": (2.0, 4.0),
     "decomposition_timeout_seconds": (20.0, 40.0),
     "max_nodes_expanded": (400, 800),
+    "lower_bound": ("stacked", "cost_model"),
 }
 
 
@@ -118,6 +119,17 @@ class TestSubKeyDerivation:
         assert decomposition_stage_key(SCENARIO, settings) != decomposition_stage_key(
             other, settings
         )
+
+    def test_lower_bound_is_normalized_away_for_mesh(self):
+        # the bound only steers the decomposition search, which mesh
+        # baselines never run: canonical_dict must null it out so a
+        # lower_bound sweep collapses onto one mesh cell
+        mesh_stacked = EvaluationSettings(architecture="mesh", lower_bound="stacked")
+        mesh_legacy = EvaluationSettings(architecture="mesh", lower_bound="cost_model")
+        assert mesh_stacked.canonical_dict() == mesh_legacy.canonical_dict()
+        custom_stacked = EvaluationSettings(architecture="custom", lower_bound="stacked")
+        custom_legacy = EvaluationSettings(architecture="custom", lower_bound="cost_model")
+        assert custom_stacked.canonical_dict() != custom_legacy.canonical_dict()
 
     def test_traffic_knobs_do_not_enter_the_key(self):
         driven_harder = tgff_scenario(num_tasks=10, seed=7)
